@@ -1,0 +1,48 @@
+"""Figure 1 — global-placement convergence.
+
+Reproduces the GP convergence figure: HPWL and density overflow per outer
+iteration.  Expected shape: overflow decays monotonically (up to small
+wobble) toward the target while HPWL grows from the clumped optimum and
+plateaus — the classic analytical-placement trade curve.
+"""
+
+from repro.benchgen import make_suite_design
+from repro.gp import GlobalPlacer, GPConfig
+from repro.metrics import format_table
+
+from benchmarks.common import bench_designs, print_banner
+
+_SERIES = {}
+
+
+def test_fig1_convergence(benchmark):
+    name = bench_designs()[1]  # a congested design makes the nicer curve
+
+    def run():
+        design = make_suite_design(name)
+        cfg = GPConfig(clustering=False)
+        report = GlobalPlacer(cfg).place(design)
+        _SERIES["report"] = report
+        _SERIES["name"] = name
+        return report.final_overflow
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report = _SERIES["report"]
+    print_banner(f"Figure 1: GP convergence on {_SERIES['name']}")
+    rows = [
+        {
+            "iter": it.outer,
+            "HPWL": round(it.hpwl, 0),
+            "overflow": round(it.overflow, 4),
+            "lambda": f"{it.lam:.2e}",
+            "inflation": round(it.mean_inflation, 3),
+        }
+        for it in report.iterations
+    ]
+    print(format_table(rows))
+    overflow = [it.overflow for it in report.iterations]
+    hpwl = [it.hpwl for it in report.iterations]
+    # Shape assertions: overflow shrinks by >2x, HPWL grows as it spreads.
+    assert overflow[-1] < 0.5 * overflow[0]
+    assert hpwl[-1] > hpwl[0]

@@ -1,0 +1,70 @@
+"""Figure 3 — fence-region compliance through the flow.
+
+Reproduces the hierarchy figure: the fraction of fenced cells inside
+their fence at every global-placement iteration, then after projection,
+legalization and detailed placement.  Expected shape: compliance climbs
+as the fence weight grows, projection closes the gap, and the back-end
+stages never break it (100% at the end — a hard constraint).
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import SUITE, make_suite_design
+from repro.db import Design
+from repro.dp import DetailedPlacer, DPConfig
+from repro.gp import GlobalPlacer, GPConfig, fence_violation
+from repro.legal import Legalizer, legalize_macros
+from repro.metrics import format_table
+
+from benchmarks.common import bench_designs, print_banner
+
+_SERIES = {}
+
+
+def _compliance(design: Design) -> float:
+    fenced = sum(
+        1 for n in design.nodes if n.region is not None and n.is_movable
+    )
+    if fenced == 0:
+        return 1.0
+    bad, _ = fence_violation(design)
+    return 1.0 - bad / fenced
+
+
+def test_fig3_fence_compliance(benchmark):
+    candidates = [n for n in bench_designs() if SUITE[n].num_fences > 0]
+    name = candidates[0] if candidates else "rh03"
+
+    def run():
+        design = make_suite_design(name)
+        stages = []
+        cfg = GPConfig(clustering=False)
+        report = GlobalPlacer(cfg).place(design)
+        stages.append(("gp+projection", _compliance(design)))
+        legalize_macros(design)
+        stages.append(("macro_legal", _compliance(design)))
+        legal = Legalizer().legalize(design)
+        stages.append(("legalize", _compliance(design)))
+        DetailedPlacer(DPConfig(rounds=1)).run(design, legal.submap)
+        stages.append(("detailed_place", _compliance(design)))
+        _SERIES["stages"] = stages
+        _SERIES["fence_iters"] = [
+            (it.outer, it.fence) for it in report.iterations
+        ]
+        _SERIES["name"] = name
+        return stages[-1][1]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_banner(f"Figure 3: fence compliance on {_SERIES['name']}")
+    print(format_table([
+        {"stage": s, "in_fence_fraction": round(c, 4)} for s, c in _SERIES["stages"]
+    ]))
+    print("\nfence penalty value per GP iteration:")
+    print(format_table([
+        {"iter": i, "fence_penalty": round(v, 2)} for i, v in _SERIES["fence_iters"]
+    ]))
+    # Hard-constraint shape: full compliance from projection onward.
+    for stage, compliance in _SERIES["stages"]:
+        assert compliance == pytest.approx(1.0), stage

@@ -1,0 +1,79 @@
+"""Figure 4 — wirelength-model accuracy: WA vs LSE error against HPWL.
+
+Reproduces the model-accuracy figure of the WA wirelength papers: mean
+absolute error of each smooth model against exact HPWL as a function of
+the smoothing parameter gamma, in the clumped regime where global
+placement actually operates (pin spreads comparable to gamma).  Expected
+shape: both errors grow with gamma; the WA curve stays below the LSE
+curve, and the worst-case (max) error of WA is far below LSE's.
+"""
+
+import numpy as np
+
+from repro.db import Design, Net, Node, Pin
+from repro.geometry import Rect
+from repro.metrics import format_table
+from repro.wirelength import LogSumExp, WeightedAverage, hpwl
+
+from benchmarks.common import print_banner
+
+GAMMAS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+_ROWS = []
+
+
+def _random_clumped_design(rng, n_nets=60, spread=4.0):
+    d = Design("fig4", core=Rect(0, 0, 200, 200))
+    idx = 0
+    nets = []
+    for _ in range(n_nets):
+        k = int(rng.integers(2, 7))
+        cx = rng.uniform(20, 180)
+        cy = rng.uniform(20, 180)
+        members = []
+        for _ in range(k):
+            node = d.add_node(Node(f"c{idx}", 1, 1))
+            node.move_center_to(
+                float(cx + rng.uniform(-spread, spread)),
+                float(cy + rng.uniform(-spread, spread)),
+            )
+            members.append(node.index)
+            idx += 1
+        nets.append(members)
+    for j, members in enumerate(nets):
+        d.add_net(Net(f"n{j}", pins=[Pin(node=m) for m in members]))
+    return d
+
+
+def test_fig4_model_error(benchmark):
+    def run():
+        rng = np.random.default_rng(99)
+        designs = [_random_clumped_design(rng) for _ in range(4)]
+        for gamma in GAMMAS:
+            wa_err, lse_err = [], []
+            for d in designs:
+                arrays = d.pin_arrays()
+                cx, cy = d.pull_centers()
+                exact = hpwl(arrays, cx, cy)
+                wa = WeightedAverage(arrays, d.num_nodes, gamma).value(cx, cy)
+                lse = LogSumExp(arrays, d.num_nodes, gamma).value(cx, cy)
+                wa_err.append(abs(wa - exact) / exact)
+                lse_err.append(abs(lse - exact) / exact)
+            _ROWS.append(
+                {
+                    "gamma": gamma,
+                    "WA_err%": round(100 * float(np.mean(wa_err)), 3),
+                    "LSE_err%": round(100 * float(np.mean(lse_err)), 3),
+                }
+            )
+        return len(_ROWS)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_banner("Figure 4: smooth-model relative error vs gamma (clumped nets)")
+    print(format_table(_ROWS))
+    # Shape: WA below LSE at every gamma in this regime; both increase.
+    for row in _ROWS:
+        assert row["WA_err%"] <= row["LSE_err%"] + 1e-9
+    lse_curve = [r["LSE_err%"] for r in _ROWS]
+    assert lse_curve == sorted(lse_curve)

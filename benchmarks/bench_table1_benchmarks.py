@@ -1,0 +1,31 @@
+"""Table 1 — benchmark statistics.
+
+Reproduces the paper's benchmark-characteristics table: per design, the
+number of standard cells, movable macros, fixed objects, terminals, nets,
+pins, fence regions, hierarchy modules, utilization and macro-area share.
+"""
+
+from repro.benchgen import make_suite_design
+from repro.db import compute_stats
+from repro.metrics import format_table
+
+from benchmarks.common import bench_designs, print_banner
+
+_ROWS = {}
+
+
+def _stats_row(name: str) -> dict:
+    design = make_suite_design(name)
+    return compute_stats(design).as_row()
+
+
+def test_table1_stats(benchmark):
+    def run():
+        for name in bench_designs():
+            _ROWS[name] = _stats_row(name)
+        return len(_ROWS)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    print_banner("Table 1: benchmark statistics")
+    print(format_table([_ROWS[n] for n in sorted(_ROWS)]))
+    assert len(_ROWS) == len(bench_designs())

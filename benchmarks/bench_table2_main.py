@@ -1,0 +1,74 @@
+"""Table 2 — the headline comparison.
+
+Scaled HPWL, RC and overflow of the routability-driven flow (NTUplace4h)
+against (a) the identical flow with routability disabled — the paper's
+primary baseline — and (b) the quadratic (SimPL-lineage) baseline, on
+every suite design.  Expected shape, as in the paper: on congested
+designs the routability-driven flow trades a few percent of raw HPWL for
+a lower RC and wins scaled HPWL; on mild designs the flows tie.
+"""
+
+import pytest
+
+from repro.metrics import comparison_table
+
+from benchmarks.common import bench_designs, print_banner, run_flow, run_quadratic
+
+_RESULTS = {"NTUplace4h": {}, "WL-driven": {}, "Quadratic": {}}
+
+
+@pytest.mark.parametrize("name", bench_designs())
+def test_ntuplace4h(benchmark, name):
+    def run():
+        _, result = run_flow(name, routability=True)
+        _RESULTS["NTUplace4h"][name] = result
+        return result.scaled_hpwl
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert _RESULTS["NTUplace4h"][name].legal
+
+
+@pytest.mark.parametrize("name", bench_designs())
+def test_wirelength_driven(benchmark, name):
+    def run():
+        _, result = run_flow(name, routability=False)
+        _RESULTS["WL-driven"][name] = result
+        return result.scaled_hpwl
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert _RESULTS["WL-driven"][name].legal
+
+
+@pytest.mark.parametrize("name", bench_designs())
+def test_quadratic_baseline(benchmark, name):
+    def run():
+        _, result = run_quadratic(name)
+        _RESULTS["Quadratic"][name] = result
+        return result.scaled_hpwl
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert _RESULTS["Quadratic"][name].legal
+
+
+def test_table2_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """Assemble and print the table (depends on the tests above)."""
+    complete = {
+        flow: results
+        for flow, results in _RESULTS.items()
+        if len(results) == len(bench_designs())
+    }
+    assert "NTUplace4h" in complete, "flow runs must execute first"
+    print_banner("Table 2: scaled HPWL / RC, NTUplace4h vs baselines")
+    print(comparison_table(complete))
+    # Shape assertion: geometric-mean scaled HPWL of the routability-driven
+    # flow must not lose to the wirelength-only flow.
+    if "WL-driven" in complete:
+        from repro.metrics import geometric_mean
+
+        ratios = [
+            complete["NTUplace4h"][n].scaled_hpwl / complete["WL-driven"][n].scaled_hpwl
+            for n in bench_designs()
+            if complete["WL-driven"][n].scaled_hpwl > 0
+        ]
+        assert geometric_mean(ratios) <= 1.05

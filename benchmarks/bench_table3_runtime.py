@@ -1,0 +1,37 @@
+"""Table 3 — runtime breakdown by flow stage.
+
+Reproduces the paper's runtime table: seconds spent in global placement,
+macro legalization + refinement, legalization, detailed placement and
+routing-based scoring, per design.  Expected shape: global placement
+dominates, legalization is cheap, routing scales with design size.
+"""
+
+import pytest
+
+from repro.metrics import format_table
+
+from benchmarks.common import bench_designs, print_banner, run_flow
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("name", bench_designs())
+def test_stage_runtime(benchmark, name):
+    def run():
+        _, result = run_flow(name, routability=True)
+        row = {"design": name}
+        row.update({k: round(v, 2) for k, v in result.stage_seconds.items()})
+        row["total"] = round(result.runtime_seconds, 2)
+        _ROWS.append(row)
+        return result.runtime_seconds
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_table3_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _ROWS, "stage runs must execute first"
+    print_banner("Table 3: runtime breakdown (seconds)")
+    print(format_table(sorted(_ROWS, key=lambda r: r["design"])))
+    for row in _ROWS:
+        assert row["total"] > 0

@@ -1,0 +1,57 @@
+"""Table 5 — ablation: congestion-driven cell inflation on/off.
+
+The full routability-driven flow with inflation enabled versus the same
+flow with inflation disabled (all else equal), on the *congested* suite
+designs.  Expected shape: inflation cuts RC/peak congestion at a small
+raw-HPWL cost — the paper's core routability mechanism.
+"""
+
+import pytest
+
+from repro.benchgen import SUITE, make_suite_design
+from repro.flow import NTUplace4H
+from repro.metrics import format_table
+
+from benchmarks.common import bench_designs, flow_config, print_banner
+
+CONGESTED = [n for n in bench_designs() if SUITE[n].congested_band > 0] or ["rh02"]
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("name", CONGESTED)
+@pytest.mark.parametrize("inflate", [True, False], ids=["inflate", "no-inflate"])
+def test_inflation_run(benchmark, name, inflate):
+    def run():
+        design = make_suite_design(name)
+        cfg = flow_config(routability=True)
+        cfg.gp.routability = inflate
+        cfg.dp.congestion_aware = True
+        result = NTUplace4H(cfg).run(design)
+        _ROWS.append(
+            {
+                "design": name,
+                "inflation": "on" if inflate else "off",
+                "HPWL": round(result.hpwl_final, 0),
+                "RC": round(result.rc, 4),
+                "sHPWL": round(result.scaled_hpwl, 0),
+                "peak": round(result.peak_congestion, 3),
+                "overflow": round(result.total_overflow, 1),
+            }
+        )
+        return result.rc
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_table5_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _ROWS, "inflation runs must execute first"
+    print_banner("Table 5: congestion-driven inflation ablation")
+    print(format_table(sorted(_ROWS, key=lambda r: (r["design"], r["inflation"]))))
+    on = {r["design"]: r for r in _ROWS if r["inflation"] == "on"}
+    off = {r["design"]: r for r in _ROWS if r["inflation"] == "off"}
+    # Shape: inflation must not increase congestion overall.
+    mean_on = sum(on[d]["RC"] for d in on) / len(on)
+    mean_off = sum(off[d]["RC"] for d in off) / len(off)
+    assert mean_on <= mean_off + 0.02

@@ -1,0 +1,72 @@
+"""Table 6 — ablation of the individual routability levers.
+
+DESIGN.md calls out three routability mechanisms; this bench isolates
+them on the congested flagship design: wirelength-only, inflation only,
+inflation + whitespace reservation (the default flow), and the full
+stack with congestion-driven net weighting.  Expected shape: each lever
+lowers RC further (or holds it) with a modest raw-HPWL cost; the default
+flow is on the sHPWL pareto front.
+"""
+
+import pytest
+
+from repro.benchgen import SUITE, make_suite_design
+from repro.flow import FlowConfig, NTUplace4H
+from repro.metrics import format_table
+
+from benchmarks.common import bench_designs, print_banner, run_dp
+
+CONGESTED = [n for n in bench_designs() if SUITE[n].congested_band > 0] or ["rh02"]
+NAME = CONGESTED[0]
+
+_VARIANTS = {
+    "wl-only": dict(routability=False, reservation=False, weighting=False),
+    "inflation": dict(routability=True, reservation=False, weighting=False),
+    "infl+reserve": dict(routability=True, reservation=True, weighting=False),
+    "full+netweight": dict(routability=True, reservation=True, weighting=True),
+}
+
+_ROWS = []
+
+
+def _config(routability: bool, reservation: bool, weighting: bool) -> FlowConfig:
+    cfg = FlowConfig() if routability else FlowConfig.wirelength_only()
+    cfg.run_dp = run_dp()
+    cfg.gp.whitespace_reservation = reservation
+    cfg.net_weighting = weighting
+    cfg.dp.congestion_aware = routability
+    return cfg
+
+
+@pytest.mark.parametrize("variant", list(_VARIANTS))
+def test_lever_variant(benchmark, variant):
+    def run():
+        design = make_suite_design(NAME)
+        result = NTUplace4H(_config(**_VARIANTS[variant])).run(design)
+        _ROWS.append(
+            {
+                "variant": variant,
+                "HPWL": round(result.hpwl_final, 0),
+                "RC": round(result.rc, 4),
+                "sHPWL": round(result.scaled_hpwl, 0),
+                "peak": round(result.peak_congestion, 3),
+                "overflow": round(result.total_overflow, 1),
+            }
+        )
+        return result.scaled_hpwl
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_table6_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _ROWS, "variant runs must execute first"
+    order = {v: i for i, v in enumerate(_VARIANTS)}
+    print_banner(f"Table 6: routability-lever ablation on {NAME}")
+    print(format_table(sorted(_ROWS, key=lambda r: order[r["variant"]])))
+    by = {r["variant"]: r for r in _ROWS}
+    # Shape: every lever stack is no more congested than wl-only, and
+    # the default flow (infl+reserve) does not lose sHPWL to wl-only.
+    assert by["inflation"]["RC"] <= by["wl-only"]["RC"] + 0.02
+    assert by["infl+reserve"]["RC"] <= by["wl-only"]["RC"] + 0.02
+    assert by["infl+reserve"]["sHPWL"] <= by["wl-only"]["sHPWL"] * 1.02

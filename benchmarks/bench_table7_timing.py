@@ -1,0 +1,57 @@
+"""Table 7 — extension ablation: timing-driven net weighting.
+
+Sweeps the timing-weighting strength on one design and reports the
+longest combinational path (from the bundled STA) against HPWL.
+Expected shape: the longest path shrinks monotonically-ish with
+strength while HPWL grows — the classical timing/wirelength tradeoff
+curve that timing-driven placers expose.
+"""
+
+import pytest
+
+from repro.benchgen import make_suite_design
+from repro.flow import FlowConfig, NTUplace4H
+from repro.metrics import format_table
+from repro.timing import analyze
+
+from benchmarks.common import bench_designs, print_banner, run_dp
+
+NAME = bench_designs()[0]
+STRENGTHS = (0.0, 1.0, 2.0, 4.0)
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("strength", STRENGTHS)
+def test_timing_strength(benchmark, strength):
+    def run():
+        design = make_suite_design(NAME)
+        cfg = FlowConfig.wirelength_only()
+        cfg.run_dp = run_dp()
+        cfg.timing_weighting = strength > 0
+        cfg.timing_weighting_strength = strength
+        result = NTUplace4H(cfg).run(design, route=False)
+        report = analyze(design)
+        _ROWS.append(
+            {
+                "strength": strength,
+                "HPWL": round(result.hpwl_final, 0),
+                "longest_path": round(report.clock_period, 1),
+                "#critical": len(report.critical_nets),
+            }
+        )
+        return report.clock_period
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_table7_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert _ROWS, "strength runs must execute first"
+    print_banner(f"Table 7: timing-weighting strength sweep on {NAME}")
+    rows = sorted(_ROWS, key=lambda r: r["strength"])
+    print(format_table(rows))
+    base = rows[0]
+    strongest = rows[-1]
+    # Shape: strongest weighting shortens the longest path vs baseline.
+    assert strongest["longest_path"] < base["longest_path"]

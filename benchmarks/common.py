@@ -1,0 +1,64 @@
+"""Shared machinery for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one table or figure of the paper's
+(reconstructed) evaluation and prints it in the paper's row/series
+format.  Absolute numbers differ from the paper — the substrate is a
+synthetic suite on a Python router, not the contest testbed — but the
+*shape* (who wins, by roughly what factor) is the reproduction target;
+EXPERIMENTS.md records both.
+
+Environment:
+
+* ``REPRO_BENCH_FULL=1`` — run the full six-design suite (several
+  minutes); default is the three small designs.
+* ``REPRO_BENCH_DP=1`` — include detailed placement in flow runs
+  (slower, slightly better HPWL everywhere, same comparisons).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.benchgen import SUITE, make_suite_design
+from repro.dp import DPConfig
+from repro.flow import FlowConfig, NTUplace4H
+from repro.baselines import run_baseline_flow
+
+SMALL_SET = ("rh01", "rh02", "rh03")
+FULL_SET = tuple(sorted(SUITE))
+
+
+def bench_designs():
+    """The benchmark subset selected by ``REPRO_BENCH_FULL``."""
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return FULL_SET
+    return SMALL_SET
+
+
+def run_dp() -> bool:
+    return bool(os.environ.get("REPRO_BENCH_DP"))
+
+
+def flow_config(routability: bool) -> FlowConfig:
+    cfg = FlowConfig() if routability else FlowConfig.wirelength_only()
+    cfg.run_dp = run_dp()
+    cfg.dp = DPConfig(rounds=1, congestion_aware=routability)
+    return cfg
+
+
+def run_flow(name: str, routability: bool):
+    """Generate a suite design and run one flow over it."""
+    design = make_suite_design(name)
+    result = NTUplace4H(flow_config(routability)).run(design)
+    return design, result
+
+
+def run_quadratic(name: str):
+    design = make_suite_design(name)
+    result = run_baseline_flow(design, "quadratic", run_dp=run_dp())
+    return design, result
+
+
+def print_banner(title: str) -> None:
+    line = "=" * max(40, len(title) + 4)
+    print(f"\n{line}\n  {title}\n{line}")

@@ -1,0 +1,91 @@
+"""ECO workflow: incremental re-legalization after local changes.
+
+Run:  python examples/eco_incremental.py
+
+Places a design once, then simulates an engineering change order — a few
+cells resized and a few new buffer cells dropped in — and repairs the
+placement *incrementally*: only the changed cells move, everything else
+stays put.  Compares the disturbance against a full re-legalization.
+"""
+
+from repro import NTUplace4H, FlowConfig, make_suite_design
+from repro.analysis import displacement_stats
+from repro.db import Node
+from repro.legal import Legalizer, check_legal, eco_legalize
+from repro.metrics import format_table
+
+
+def place_base():
+    design = make_suite_design("rh01")
+    cfg = FlowConfig.wirelength_only()
+    cfg.run_dp = False
+    NTUplace4H(cfg).run(design, route=False)
+    return design
+
+
+def apply_eco(design):
+    """Resize three cells and add two buffers near the die centre."""
+    changed = []
+    for name in ("c10", "c20", "c30"):
+        node = design.node(name)
+        node.width += 2 * design.site_width  # upsized cell
+        changed.append(node.index)
+    center = design.core.center
+    for k in range(2):
+        buf = design.add_node(
+            Node(f"eco_buf{k}", 0.5, 1.0, x=center.x + k, y=center.y)
+        )
+        changed.append(buf.index)
+    return changed
+
+
+def main():
+    print("placing baseline ...")
+    design = place_base()
+    reference = {n.index: (n.x, n.y) for n in design.nodes}
+
+    changed = apply_eco(design)
+    print(f"ECO: {len(changed)} cells changed; placement now "
+          f"{'legal' if check_legal(design).ok else 'ILLEGAL'}")
+
+    result = eco_legalize(design, changed)
+    audit = check_legal(design)
+    stats = displacement_stats(design, reference)
+    print(f"after eco_legalize: {audit.summary()}")
+    print(format_table([
+        {
+            "repair": "incremental (eco_legalize)",
+            "cells_moved": len(result.placed),
+            "total_disp": round(stats["total"], 2),
+            "max_disp": round(stats["max"], 2),
+        }
+    ]))
+
+    # Contrast: full re-legalization moves (a little of) everything.
+    design2 = place_base()
+    ref2 = {n.index: (n.x, n.y) for n in design2.nodes}
+    apply_eco(design2)
+    Legalizer().legalize(design2)
+    stats2 = displacement_stats(design2, ref2)
+    moved2 = sum(
+        1
+        for n in design2.nodes
+        if n.index in ref2
+        and (abs(n.x - ref2[n.index][0]) + abs(n.y - ref2[n.index][1])) > 1e-9
+    )
+    print(format_table([
+        {
+            "repair": "full legalization",
+            "cells_moved": moved2,
+            "total_disp": round(stats2["total"], 2),
+            "max_disp": round(stats2["max"], 2),
+        }
+    ]))
+    print(
+        "\nincremental repair touches only the changed cells and disturbs "
+        "far less placement; the gap widens with design size."
+    )
+
+
+if __name__ == "__main__":
+    main()

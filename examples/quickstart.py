@@ -1,0 +1,41 @@
+"""Quickstart: place a small mixed-size design end to end and score it.
+
+Run:  python examples/quickstart.py
+
+Generates a synthetic 1200-cell design (2 macros, boundary terminals,
+routing capacities), runs the full NTUplace4h flow — global placement,
+macro legalization, cell refinement, legalization, detailed placement —
+routes the result, and prints the contest metrics.  Saves the final
+placement as ``quickstart_placement.svg``.
+"""
+
+from repro import NTUplace4H, make_suite_design
+from repro.metrics import format_table
+from repro.viz import placement_to_svg
+
+
+def main():
+    design = make_suite_design("rh01")
+    print(f"placing {design}")
+
+    flow = NTUplace4H()
+    result = flow.run(design)
+
+    print("\nflow result:")
+    print(format_table([result.as_row()]))
+    print("\nstage runtimes (s):")
+    print(format_table([{k: round(v, 2) for k, v in result.stage_seconds.items()}]))
+    print(f"\nHPWL after GP        : {result.hpwl_gp:12.0f}")
+    print(f"HPWL after legalize  : {result.hpwl_legal:12.0f}")
+    print(f"HPWL final (post DP) : {result.hpwl_final:12.0f}")
+    print(f"routing congestion RC: {result.rc:12.4f}")
+    print(f"scaled HPWL          : {result.scaled_hpwl:12.0f}")
+    print(f"placement legal      : {result.legal}")
+
+    out = "quickstart_placement.svg"
+    placement_to_svg(design, out)
+    print(f"\nwrote {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Placement-quality analytics.
+
+Post-hoc inspection tools a physical-design engineer reaches for when a
+result looks off: net-length distributions, displacement fields between
+two placements, utilization profiles, and a one-call quality summary
+combining them with the library's congestion and timing metrics.
+"""
+
+from repro.analysis.quality import (
+    QualitySummary,
+    displacement_stats,
+    net_length_stats,
+    quality_summary,
+    utilization_profile,
+)
+
+__all__ = [
+    "QualitySummary",
+    "displacement_stats",
+    "net_length_stats",
+    "quality_summary",
+    "utilization_profile",
+]

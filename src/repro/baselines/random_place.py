@@ -1,0 +1,24 @@
+"""Uniform random placement — the sanity floor of every comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db import Design
+
+
+def random_placement(design: Design, seed: int = 0) -> None:
+    """Place every movable node uniformly at random inside the core
+    (fenced nodes uniformly inside their fence's bounding box)."""
+    rng = np.random.default_rng(seed)
+    core = design.core
+    for node in design.nodes:
+        if not node.is_movable:
+            continue
+        area = core
+        if node.region is not None:
+            area = design.regions[node.region].bounding_box
+        w, h = node.placed_width, node.placed_height
+        x = rng.uniform(area.xl, max(area.xl, area.xh - w))
+        y = rng.uniform(area.yl, max(area.yl, area.yh - h))
+        node.x, node.y = float(x), float(y)

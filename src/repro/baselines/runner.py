@@ -1,0 +1,72 @@
+"""Run a baseline global placer through the shared back-end flow.
+
+Keeps comparisons apples-to-apples: every placer gets the same macro
+legalization, fence-aware legalization, detailed placement and router
+scoring as the main flow.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.quadratic import QuadraticPlacer
+from repro.baselines.random_place import random_placement
+from repro.db import Design
+from repro.dp import DetailedPlacer, DPConfig
+from repro.flow.ntuplace4h import FlowResult
+from repro.gp.fence import project_into_fences
+from repro.legal import Legalizer, legalize_macros
+from repro.route import GlobalRouter, scaled_hpwl
+
+
+def run_baseline_flow(
+    design: Design,
+    kind: str = "quadratic",
+    *,
+    run_dp: bool = True,
+    route: bool = True,
+    seed: int = 0,
+) -> FlowResult:
+    """Place ``design`` with the named baseline and score it.
+
+    ``kind``: ``"quadratic"`` or ``"random"``.
+    """
+    result = FlowResult(design_name=design.name)
+    t = time.time()
+    if kind == "quadratic":
+        QuadraticPlacer().place(design)
+    elif kind == "random":
+        random_placement(design, seed=seed)
+    else:
+        raise ValueError(f"unknown baseline {kind!r}")
+    project_into_fences(design)
+    result.stage_seconds["global_place"] = time.time() - t
+    result.hpwl_gp = design.hpwl()
+
+    t = time.time()
+    legalize_macros(design)
+    legal_result = Legalizer().legalize(design)
+    result.stage_seconds["legalize"] = time.time() - t
+    result.legal_result = legal_result
+    result.hpwl_legal = design.hpwl()
+
+    if run_dp:
+        t = time.time()
+        dp_cfg = DPConfig(congestion_aware=False)
+        result.dp_report = DetailedPlacer(dp_cfg).run(design, legal_result.submap)
+        result.stage_seconds["detailed_place"] = time.time() - t
+
+    result.hpwl_final = design.hpwl()
+    result.legal = legal_result.report.ok
+    if route and design.routing is not None:
+        t = time.time()
+        rr = GlobalRouter(design.routing).route(design)
+        result.stage_seconds["route"] = time.time() - t
+        result.route_result = rr
+        result.rc = rr.metrics.rc
+        result.total_overflow = rr.metrics.total_overflow
+        result.peak_congestion = rr.metrics.peak_congestion
+        result.scaled_hpwl = scaled_hpwl(result.hpwl_final, result.rc)
+    else:
+        result.scaled_hpwl = result.hpwl_final
+    return result

@@ -1,0 +1,392 @@
+"""Construction of one synthetic hierarchical mixed-size benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db import Design, Net, Node, NodeKind, Pin, PinDirection, Region, Row
+from repro.geometry import Rect
+from repro.route import RoutingSpec
+from repro.benchgen import rent
+
+SITE_WIDTH = 0.25
+ROW_HEIGHT = 1.0
+
+
+@dataclass
+class BenchmarkSpec:
+    """Knobs of the synthetic benchmark generator.
+
+    Defaults give a comfortably routable design; lower ``cap_factor`` or
+    add ``congested_band`` to create the routability stress the paper's
+    evaluation needs.
+    """
+
+    name: str = "bench"
+    num_cells: int = 2000
+    num_macros: int = 4  # movable macros
+    num_fixed_macros: int = 2  # preplaced blockages
+    num_terminals: int = 64
+    macro_area_fraction: float = 0.25  # of total movable area
+    utilization: float = 0.7
+    avg_net_degree: float = 3.6
+    max_net_degree: int = 24
+    nets_per_cell: float = 1.15
+    hierarchy_branching: int = 4
+    hierarchy_depth: int | None = None  # default: sized for ~150-cell leaves
+    locality: float = 0.75
+    num_fences: int = 0
+    fence_level: int = 1
+    fence_utilization: float = 0.6
+    route_tiles: int = 32
+    cap_factor: float = 0.45  # tracks per (tile span / site width)
+    congested_band: float = 0.0  # capacity multiplier 1-x over a center band
+    macro_route_block: float = 0.6  # capacity kept over fixed macros
+    seed: int = 1
+
+
+@dataclass
+class _Layout:
+    core: Rect
+    num_rows: int
+    sites_per_row: int
+
+
+def _depth_for(spec: BenchmarkSpec) -> int:
+    if spec.hierarchy_depth is not None:
+        return spec.hierarchy_depth
+    depth = 1
+    while spec.num_cells / (spec.hierarchy_branching**depth) > 150 and depth < 4:
+        depth += 1
+    return depth
+
+
+def _plan_layout(total_area: float, utilization: float) -> _Layout:
+    """A square-ish core of whole rows/sites fitting ``total_area/util``."""
+    die_area = total_area / utilization
+    side = np.sqrt(die_area)
+    num_rows = max(4, int(np.ceil(side / ROW_HEIGHT)))
+    sites_per_row = max(16, int(np.ceil(die_area / (num_rows * ROW_HEIGHT) / SITE_WIDTH)))
+    core = Rect(0.0, 0.0, sites_per_row * SITE_WIDTH, num_rows * ROW_HEIGHT)
+    return _Layout(core, num_rows, sites_per_row)
+
+
+def _place_non_overlapping(
+    rng: np.random.Generator, core: Rect, sizes, existing, max_tries: int = 200
+):
+    """Deterministic rejection sampling of non-overlapping rects in core."""
+    placed = []
+    for w, h in sizes:
+        ok = None
+        for _ in range(max_tries):
+            x = float(rng.uniform(core.xl, max(core.xl, core.xh - w)))
+            y = ROW_HEIGHT * round(float(rng.uniform(core.yl, max(core.yl, core.yh - h))) / ROW_HEIGHT)
+            cand = Rect.from_size(x, y, w, h)
+            if not core.contains_rect(cand):
+                continue
+            if any(cand.inflated(ROW_HEIGHT).intersects(r) for r in existing + placed):
+                continue
+            ok = cand
+            break
+        if ok is None:  # fall back: allow contact but stay in core
+            x = float(rng.uniform(core.xl, max(core.xl, core.xh - w)))
+            y = float(rng.uniform(core.yl, max(core.yl, core.yh - h)))
+            ok = Rect.from_size(x, y, w, h)
+        placed.append(ok)
+    return placed
+
+
+def make_benchmark(spec: BenchmarkSpec) -> Design:
+    """Generate the full design: netlist, floorplan, hierarchy, fences,
+    routing capacities.  Deterministic in ``spec.seed``."""
+    rng = np.random.default_rng(spec.seed)
+    design = Design(spec.name)
+
+    # ------------------------------------------------------------- cells
+    cell_sites = rng.integers(2, 9, size=spec.num_cells)  # 2..8 sites wide
+    cell_w = cell_sites * SITE_WIDTH
+    cell_area = float(np.sum(cell_w * ROW_HEIGHT))
+
+    # ------------------------------------------------------------ macros
+    macro_sizes = []
+    if spec.num_macros > 0 and spec.macro_area_fraction > 0:
+        macro_total = (
+            cell_area
+            * spec.macro_area_fraction
+            / max(1e-9, 1.0 - spec.macro_area_fraction)
+        )
+        shares = rng.dirichlet(np.ones(spec.num_macros)) * macro_total
+        for a in shares:
+            aspect = float(rng.uniform(0.6, 1.6))
+            w = max(2 * ROW_HEIGHT, np.sqrt(a * aspect))
+            h = max(2 * ROW_HEIGHT, a / w)
+            h = ROW_HEIGHT * max(2, round(h / ROW_HEIGHT))
+            w = SITE_WIDTH * max(4, round(w / SITE_WIDTH))
+            macro_sizes.append((w, h))
+    macro_area = sum(w * h for w, h in macro_sizes)
+    movable_area = cell_area + macro_area
+
+    layout = _plan_layout(movable_area, spec.utilization)
+    design.core = layout.core
+    for r in range(layout.num_rows):
+        design.add_row(
+            Row(
+                y=r * ROW_HEIGHT,
+                height=ROW_HEIGHT,
+                site_width=SITE_WIDTH,
+                x_min=0.0,
+                num_sites=layout.sites_per_row,
+            )
+        )
+
+    # ----------------------------------------------------- fixed macros
+    fixed_rects = []
+    if spec.num_fixed_macros > 0:
+        side = np.sqrt(layout.core.area * 0.04)  # each ~4% of die
+        sizes = [
+            (
+                SITE_WIDTH * max(8, round(float(rng.uniform(0.7, 1.4)) * side / SITE_WIDTH)),
+                ROW_HEIGHT * max(4, round(float(rng.uniform(0.7, 1.4)) * side / ROW_HEIGHT)),
+            )
+            for _ in range(spec.num_fixed_macros)
+        ]
+        fixed_rects = _place_non_overlapping(rng, layout.core.inflated(-2 * ROW_HEIGHT), sizes, [])
+        # Blockages sit on the site/row grid like everything else.
+        fixed_rects = [
+            Rect.from_size(
+                SITE_WIDTH * round(r.xl / SITE_WIDTH),
+                ROW_HEIGHT * round(r.yl / ROW_HEIGHT),
+                r.width,
+                r.height,
+            )
+            for r in fixed_rects
+        ]
+
+    # ---------------------------------------------------- node creation
+    depth = _depth_for(spec)
+    leaf_of_cell, members = rent.assign_cells_to_leaves(
+        spec.num_cells, spec.hierarchy_branching, depth
+    )
+    for i in range(spec.num_cells):
+        path = rent.leaf_module_path(
+            int(leaf_of_cell[i]), spec.hierarchy_branching, depth
+        )
+        design.add_node(
+            Node(
+                name=f"c{i}",
+                width=float(cell_w[i]),
+                height=ROW_HEIGHT,
+                kind=NodeKind.CELL,
+                module=path,
+            )
+        )
+    macro_ids = []
+    for k, (w, h) in enumerate(macro_sizes):
+        node = design.add_node(
+            Node(name=f"mac{k}", width=w, height=h, kind=NodeKind.MACRO, module="top")
+        )
+        macro_ids.append(node.index)
+    for k, r in enumerate(fixed_rects):
+        design.add_node(
+            Node(
+                name=f"blk{k}",
+                width=r.width,
+                height=r.height,
+                kind=NodeKind.FIXED,
+                x=r.xl,
+                y=r.yl,
+            )
+        )
+    terminal_ids = []
+    core = layout.core
+    for k in range(spec.num_terminals):
+        t = k / max(1, spec.num_terminals)
+        per = core.half_perimeter() * 2.0
+        d = t * per
+        if d < core.width:
+            x, y = core.xl + d, core.yl
+        elif d < core.width + core.height:
+            x, y = core.xh, core.yl + (d - core.width)
+        elif d < 2 * core.width + core.height:
+            x, y = core.xh - (d - core.width - core.height), core.yh
+        else:
+            x, y = core.xl, core.yh - (d - 2 * core.width - core.height)
+        node = design.add_node(
+            Node(
+                name=f"p{k}",
+                width=0.0,
+                height=0.0,
+                kind=NodeKind.TERMINAL_NI,
+                x=float(x),
+                y=float(y),
+            )
+        )
+        terminal_ids.append(node.index)
+
+    # ------------------------------------------------------------- nets
+    num_nets = int(spec.num_cells * spec.nets_per_cell)
+    levels = rent.sample_net_levels(rng, num_nets, depth, spec.locality)
+    degrees = rent.sample_net_degrees(
+        rng, num_nets, spec.avg_net_degree, spec.max_net_degree
+    )
+    p_macro_pin = min(0.5, 3.0 * len(macro_ids) / max(1, num_nets) * 40)
+    for n in range(num_nets):
+        anchor_leaf = int(rng.integers(0, len(members)))
+        pool = rent.subtree_cells(
+            members, anchor_leaf, int(levels[n]), spec.hierarchy_branching, depth
+        )
+        k = int(min(degrees[n], len(pool)))
+        if k < 2:
+            continue
+        chosen = rng.choice(pool, size=k, replace=False)
+        pins = []
+        for pin_pos, c in enumerate(chosen):
+            node = design.nodes[int(c)]
+            pins.append(
+                Pin(
+                    node=int(c),
+                    dx=float(rng.uniform(-node.width / 2, node.width / 2)),
+                    dy=float(rng.uniform(-node.height / 2, node.height / 2)),
+                    # First pin drives: gives the netlist a well-defined
+                    # timing DAG (cells are picked without replacement,
+                    # so driver cycles only arise across nets).
+                    direction=PinDirection.OUTPUT if pin_pos == 0 else PinDirection.INPUT,
+                )
+            )
+        # Root-level nets may also touch a macro and/or a terminal.
+        if levels[n] == 0 and macro_ids and rng.uniform() < p_macro_pin:
+            m = int(rng.choice(macro_ids))
+            node = design.nodes[m]
+            pins.append(
+                Pin(
+                    node=m,
+                    dx=float(rng.uniform(-node.width / 2, node.width / 2)),
+                    dy=float(rng.uniform(-node.height / 2, node.height / 2)),
+                )
+            )
+        if levels[n] == 0 and terminal_ids and rng.uniform() < 0.15:
+            pins.append(Pin(node=int(rng.choice(terminal_ids))))
+        design.add_net(Net(name=f"n{n}", pins=pins))
+
+    # ------------------------------------------------------------ fences
+    # Fences are anchored at die corners/edge midpoints, which keeps them
+    # mutually disjoint by construction; their area budget is grown by any
+    # blockage overlap so member capacity is preserved.
+    if spec.num_fences > 0:
+        fence_modules = _pick_fence_modules(design, spec, rng)
+        placed_fences = []
+        anchors = _fence_anchors(core)
+        for path in fence_modules:
+            module = design.hierarchy.get(path)
+            area = sum(design.nodes[i].area for i in module.all_cells())
+            if area <= 0:
+                continue
+            rect = _anchor_fence(
+                area / spec.fence_utilization, core, anchors, placed_fences, fixed_rects
+            )
+            if rect is None:
+                continue
+            placed_fences.append(rect)
+            region = Region(name=f"fence_{path.replace('/', '_')}", rects=[rect])
+            design.add_region(region)
+            design.bind_region(path, region)
+
+    # ----------------------------------------------------------- routing
+    tiles = spec.route_tiles
+    tile_w = core.width / tiles
+    tile_h = core.height / tiles
+    hcap = spec.cap_factor * tile_h / SITE_WIDTH
+    vcap = spec.cap_factor * tile_w / SITE_WIDTH
+    routing = RoutingSpec.uniform(core, tiles, tiles, hcap=hcap, vcap=vcap)
+    if spec.congested_band > 0.0:
+        band = Rect(
+            core.xl,
+            core.yl + 0.4 * core.height,
+            core.xh,
+            core.yl + 0.6 * core.height,
+        )
+        routing.block_rect(band, keep_fraction=1.0 - spec.congested_band)
+    for r in fixed_rects:
+        routing.block_rect(r, keep_fraction=spec.macro_route_block)
+    design.routing = routing
+    return design
+
+
+def _fence_anchors(core: Rect) -> list:
+    """Candidate fence anchor points: corners first, then edge midpoints."""
+    return [
+        (core.xl, core.yl),
+        (core.xh, core.yh),
+        (core.xh, core.yl),
+        (core.xl, core.yh),
+        ((core.xl + core.xh) / 2, core.yl),
+        ((core.xl + core.xh) / 2, core.yh),
+        (core.xl, (core.yl + core.yh) / 2),
+        (core.xh, (core.yl + core.yh) / 2),
+    ]
+
+
+def _anchor_fence(area: float, core: Rect, anchors, placed, blockages):
+    """Place a fence of ``area`` at the first anchor where it fits.
+
+    The rectangle is grown to compensate for overlap with fixed
+    blockages, snapped to row/site grid, and must not intersect other
+    fences.  Returns ``None`` only if no anchor works.
+    """
+    inset = ROW_HEIGHT
+    usable = core.inflated(-inset)
+    for ax, ay in anchors:
+        grow = 1.0
+        for _ in range(4):
+            side = np.sqrt(area * grow)
+            w = min(side, usable.width)
+            h = min(area * grow / w, usable.height)
+            x = min(max(ax - w / 2, usable.xl), usable.xh - w)
+            y = min(max(ay - h / 2, usable.yl), usable.yh - h)
+            rect = Rect(
+                SITE_WIDTH * np.floor(x / SITE_WIDTH),
+                ROW_HEIGHT * np.floor(y / ROW_HEIGHT),
+                SITE_WIDTH * np.ceil((x + w) / SITE_WIDTH),
+                ROW_HEIGHT * np.ceil((y + h) / ROW_HEIGHT),
+            )
+            if any(rect.intersects(f) for f in placed):
+                break  # try next anchor
+            blocked = sum(rect.overlap_area(b) for b in blockages)
+            if blocked <= 0.02 * rect.area:
+                return rect
+            grow = (rect.area + blocked * 1.1) / rect.area
+        else:
+            continue
+    # Last resort: any anchor ignoring the blockage compensation.
+    for ax, ay in anchors:
+        side = np.sqrt(area)
+        w = min(side, usable.width)
+        h = min(area / w, usable.height)
+        x = min(max(ax - w / 2, usable.xl), usable.xh - w)
+        y = min(max(ay - h / 2, usable.yl), usable.yh - h)
+        rect = Rect(
+            SITE_WIDTH * np.floor(x / SITE_WIDTH),
+            ROW_HEIGHT * np.floor(y / ROW_HEIGHT),
+            SITE_WIDTH * np.ceil((x + w) / SITE_WIDTH),
+            ROW_HEIGHT * np.ceil((y + h) / ROW_HEIGHT),
+        )
+        if not any(rect.intersects(f) for f in placed):
+            return rect
+    return None
+
+
+def _pick_fence_modules(design: Design, spec: BenchmarkSpec, rng) -> list:
+    """Deterministically pick ``num_fences`` modules at ``fence_level``."""
+    candidates = [
+        m.name
+        for m in design.hierarchy.modules()
+        if m.name.count("/") == spec.fence_level and m.name.startswith("top")
+    ]
+    candidates.sort()
+    if not candidates:
+        return []
+    take = min(spec.num_fences, len(candidates))
+    idx = rng.choice(len(candidates), size=take, replace=False)
+    return [candidates[i] for i in sorted(idx)]

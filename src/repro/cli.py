@@ -1,0 +1,145 @@
+"""Command-line interface.
+
+Four subcommands mirror how the original tools were driven::
+
+    python -m repro generate --suite rh02 --out bench_dir
+    python -m repro place    --aux bench_dir/rh02.aux --out placed_dir
+    python -m repro route    --aux placed_dir/rh02.aux
+    python -m repro stats    --aux bench_dir/rh02.aux
+
+``place`` runs the full NTUplace4h flow (``--wirelength-only`` disables
+the routability machinery; ``--baseline quadratic`` runs the quadratic
+placer through the same back-end) and writes the placed design back in
+Bookshelf format, plus an optional SVG.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines import run_baseline_flow
+from repro.benchgen import SUITE, BenchmarkSpec, make_benchmark, make_suite_design
+from repro.db import compute_stats
+from repro.flow import FlowConfig, NTUplace4H
+from repro.io import read_bookshelf, write_bookshelf
+from repro.metrics import format_table
+from repro.route import GlobalRouter, scaled_hpwl
+
+
+def _cmd_generate(args) -> int:
+    if args.suite:
+        design = make_suite_design(args.suite)
+    else:
+        spec = BenchmarkSpec(
+            name=args.name,
+            num_cells=args.cells,
+            num_macros=args.macros,
+            num_fences=args.fences,
+            seed=args.seed,
+        )
+        design = make_benchmark(spec)
+    aux = write_bookshelf(design, args.out)
+    print(f"wrote {aux}")
+    print(format_table([compute_stats(design).as_row()]))
+    return 0
+
+
+def _cmd_place(args) -> int:
+    design = read_bookshelf(args.aux)
+    if args.baseline:
+        result = run_baseline_flow(design, args.baseline, route=not args.no_route)
+    else:
+        cfg = FlowConfig.wirelength_only() if args.wirelength_only else FlowConfig()
+        if args.no_dp:
+            cfg.run_dp = False
+        result = NTUplace4H(cfg).run(design, route=not args.no_route)
+    print(format_table([result.as_row()], title="flow result"))
+    if not result.legal:
+        print("WARNING: placement is not legal:", result.legal_result.report.summary())
+    if args.out:
+        aux = write_bookshelf(design, args.out)
+        print(f"wrote {aux}")
+    if args.svg:
+        from repro.viz import placement_to_svg
+
+        placement_to_svg(design, args.svg)
+        print(f"wrote {args.svg}")
+    return 0 if result.legal else 1
+
+
+def _cmd_route(args) -> int:
+    design = read_bookshelf(args.aux)
+    if design.routing is None:
+        print("error: benchmark has no .route file", file=sys.stderr)
+        return 2
+    rr = GlobalRouter(design.routing).route(design)
+    hpwl = design.hpwl()
+    row = rr.metrics.as_row()
+    row["HPWL"] = round(hpwl, 0)
+    row["sHPWL"] = round(scaled_hpwl(hpwl, rr.metrics.rc), 0)
+    print(format_table([row], title="routing-based congestion score"))
+    if args.map:
+        from repro.viz import ascii_heatmap
+
+        print(ascii_heatmap(rr.congestion_map(), vmax=1.5))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    design = read_bookshelf(args.aux)
+    print(format_table([compute_stats(design).as_row()]))
+    problems = design.validate()
+    if problems:
+        print(f"{len(problems)} consistency problems; first: {problems[0]}")
+        return 1
+    print("design is consistent")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Routability-driven placement for hierarchical mixed-size designs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a synthetic benchmark")
+    g.add_argument("--suite", choices=sorted(SUITE), help="named suite design")
+    g.add_argument("--name", default="bench")
+    g.add_argument("--cells", type=int, default=2000)
+    g.add_argument("--macros", type=int, default=4)
+    g.add_argument("--fences", type=int, default=0)
+    g.add_argument("--seed", type=int, default=1)
+    g.add_argument("--out", required=True, help="output directory")
+    g.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("place", help="run the placement flow on a benchmark")
+    p.add_argument("--aux", required=True, help="Bookshelf .aux file")
+    p.add_argument("--out", help="directory for the placed benchmark")
+    p.add_argument("--svg", help="write the placement as SVG")
+    p.add_argument("--wirelength-only", action="store_true")
+    p.add_argument("--baseline", choices=["quadratic", "random"])
+    p.add_argument("--no-dp", action="store_true")
+    p.add_argument("--no-route", action="store_true")
+    p.set_defaults(func=_cmd_place)
+
+    r = sub.add_parser("route", help="score an existing placement by routing")
+    r.add_argument("--aux", required=True)
+    r.add_argument("--map", action="store_true", help="print the congestion map")
+    r.set_defaults(func=_cmd_route)
+
+    s = sub.add_parser("stats", help="print benchmark statistics")
+    s.add_argument("--aux", required=True)
+    s.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,368 @@
+"""The top-level design container.
+
+``Design`` owns the netlist (nodes, nets, pins), the floorplan (rows, core
+area, fence regions), the design hierarchy and an optional routing
+specification.  Algorithmic stages interact with it two ways:
+
+* **Array interface** — ``pull_centers`` / ``push_centers`` /
+  ``pin_arrays`` / size-and-mask arrays.  Analytical global placement and
+  congestion estimation run entirely on these NumPy views.
+* **Object interface** — ``nodes`` / ``nets`` / ``rows``.  Sequential
+  stages (legalization, detailed placement) mutate :class:`Node` objects
+  directly.
+
+Positions are authoritative on the :class:`Node` objects; the array
+interface copies out and writes back at stage boundaries, so the two views
+never drift mid-stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Orientation, Rect, transform_offset
+from repro.db.node import Node, NodeKind
+from repro.db.net import Net, Pin
+from repro.db.rows import Row
+from repro.db.regions import Region
+from repro.db.hierarchy import HierarchyTree
+
+
+@dataclass
+class PinArrays:
+    """CSR view of the netlist's pins, ordered net-by-net.
+
+    ``net_ptr[i]:net_ptr[i+1]`` slices the pin arrays for net ``i``.
+    Offsets are relative to node centres and already account for each
+    node's current orientation.
+    """
+
+    pin_node: np.ndarray  # int32 [P] node index of each pin
+    pin_dx: np.ndarray  # float64 [P] oriented offset from node centre
+    pin_dy: np.ndarray  # float64 [P]
+    net_ptr: np.ndarray  # int64 [N+1]
+    net_weight: np.ndarray  # float64 [N]
+
+    @property
+    def num_pins(self) -> int:
+        return len(self.pin_node)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.net_weight)
+
+    def pin_positions(self, cx: np.ndarray, cy: np.ndarray):
+        """Absolute pin coordinates given node-centre arrays."""
+        return cx[self.pin_node] + self.pin_dx, cy[self.pin_node] + self.pin_dy
+
+
+class Design:
+    """A mixed-size, hierarchy-aware placement design."""
+
+    def __init__(self, name: str = "design", core: Rect | None = None):
+        self.name = name
+        self.nodes: list = []
+        self.nets: list = []
+        self.rows: list = []
+        self.regions: list = []
+        self.hierarchy = HierarchyTree()
+        self.routing = None  # repro.route.RoutingSpec, if congestion-aware
+        self._core = core
+        self._node_index: dict = {}
+        self._net_index: dict = {}
+        self._topology_version = 0
+        self._pin_cache = None
+        self._pin_cache_version = -1
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Register ``node``; names must be unique."""
+        if node.name in self._node_index:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        node.index = len(self.nodes)
+        self.nodes.append(node)
+        self._node_index[node.name] = node.index
+        if node.module is not None:
+            self.hierarchy.assign_cell(node.index, node.module)
+        self._topology_version += 1
+        return node
+
+    def add_net(self, net: Net) -> Net:
+        """Register ``net``; pins must reference existing nodes."""
+        if net.name in self._net_index:
+            raise ValueError(f"duplicate net name {net.name!r}")
+        net.index = len(self.nets)
+        for pin in net.pins:
+            if not 0 <= pin.node < len(self.nodes):
+                raise ValueError(
+                    f"net {net.name!r} pin references unknown node {pin.node}"
+                )
+            pin.net = net.index
+            self.nodes[pin.node].pins.append(pin)
+        self.nets.append(net)
+        self._net_index[net.name] = net.index
+        self._topology_version += 1
+        return net
+
+    def connect(self, net: Net, node: Node, dx: float = 0.0, dy: float = 0.0, **kw) -> Pin:
+        """Append a pin on ``node`` to an already-registered ``net``."""
+        if net.index < 0:
+            raise ValueError("net must be added to the design before connecting")
+        pin = Pin(node=node.index, dx=dx, dy=dy, net=net.index, **kw)
+        net.pins.append(pin)
+        node.pins.append(pin)
+        self._topology_version += 1
+        return pin
+
+    def add_row(self, row: Row) -> Row:
+        row.index = len(self.rows)
+        self.rows.append(row)
+        return row
+
+    def add_region(self, region: Region) -> Region:
+        region.index = len(self.regions)
+        self.regions.append(region)
+        return region
+
+    def bind_region(self, module_path: str, region: Region) -> None:
+        """Fence the hierarchy module at ``module_path`` into ``region``.
+
+        Every cell currently in the module's subtree is constrained;
+        cells added to the module later pick the constraint up via their
+        ``module`` attribute when assigned.
+        """
+        if region.index < 0:
+            region = self.add_region(region)
+        module = self.hierarchy.ensure(module_path)
+        module.region = region.index
+        for idx in module.all_cells():
+            self.nodes[idx].region = region.index
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> Node:
+        return self.nodes[self._node_index[name]]
+
+    def net(self, name: str) -> Net:
+        return self.nets[self._net_index[name]]
+
+    def has_node(self, name: str) -> bool:
+        return name in self._node_index
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_nets(self) -> int:
+        return len(self.nets)
+
+    @property
+    def num_pins(self) -> int:
+        return sum(net.degree for net in self.nets)
+
+    @property
+    def core(self) -> Rect:
+        """The placeable core area (explicit, or the union of the rows)."""
+        if self._core is not None:
+            return self._core
+        if not self.rows:
+            raise ValueError("design has neither an explicit core nor rows")
+        box = self.rows[0].rect
+        for row in self.rows[1:]:
+            box = box.union(row.rect)
+        return box
+
+    @core.setter
+    def core(self, rect: Rect) -> None:
+        self._core = rect
+
+    @property
+    def site_width(self) -> float:
+        return self.rows[0].site_width if self.rows else 1.0
+
+    @property
+    def row_height(self) -> float:
+        return self.rows[0].height if self.rows else 1.0
+
+    # ------------------------------------------------------------------
+    # array interface
+    # ------------------------------------------------------------------
+    def pull_centers(self):
+        """Centre coordinates of every node as two float64 arrays."""
+        n = len(self.nodes)
+        cx = np.empty(n)
+        cy = np.empty(n)
+        for i, node in enumerate(self.nodes):
+            cx[i] = node.cx
+            cy[i] = node.cy
+        return cx, cy
+
+    def push_centers(self, cx: np.ndarray, cy: np.ndarray, indices=None) -> None:
+        """Write centre coordinates back onto movable nodes.
+
+        Fixed nodes are never moved; ``indices`` restricts the write to a
+        subset (positions arrays are still indexed by global node id).
+        """
+        it = indices if indices is not None else range(len(self.nodes))
+        for i in it:
+            node = self.nodes[i]
+            if node.is_movable:
+                node.move_center_to(float(cx[i]), float(cy[i]))
+
+    def placed_sizes(self):
+        """Oriented (width, height) arrays of every node."""
+        n = len(self.nodes)
+        w = np.empty(n)
+        h = np.empty(n)
+        for i, node in enumerate(self.nodes):
+            w[i] = node.placed_width
+            h[i] = node.placed_height
+        return w, h
+
+    def movable_mask(self) -> np.ndarray:
+        return np.array([node.is_movable for node in self.nodes], dtype=bool)
+
+    def fixed_mask(self) -> np.ndarray:
+        return ~self.movable_mask()
+
+    def macro_mask(self) -> np.ndarray:
+        """Movable macros only."""
+        return np.array(
+            [node.kind is NodeKind.MACRO for node in self.nodes], dtype=bool
+        )
+
+    def filler_mask(self) -> np.ndarray:
+        return np.array(
+            [node.kind is NodeKind.FILLER for node in self.nodes], dtype=bool
+        )
+
+    def region_ids(self) -> np.ndarray:
+        """Fence id per node (-1 when unconstrained)."""
+        return np.array(
+            [-1 if node.region is None else node.region for node in self.nodes],
+            dtype=np.int32,
+        )
+
+    def movable_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.movable_mask())
+
+    def pin_arrays(self) -> PinArrays:
+        """The CSR pin view, rebuilt only when topology/orientation changed."""
+        if self._pin_cache is not None and self._pin_cache_version == self._topology_version:
+            return self._pin_cache
+        num_pins = self.num_pins
+        pin_node = np.empty(num_pins, dtype=np.int32)
+        pin_dx = np.empty(num_pins)
+        pin_dy = np.empty(num_pins)
+        net_ptr = np.empty(len(self.nets) + 1, dtype=np.int64)
+        net_weight = np.empty(len(self.nets))
+        k = 0
+        net_ptr[0] = 0
+        for i, net in enumerate(self.nets):
+            for pin in net.pins:
+                node = self.nodes[pin.node]
+                dx, dy = transform_offset(pin.dx, pin.dy, node.orientation)
+                pin_node[k] = pin.node
+                pin_dx[k] = dx
+                pin_dy[k] = dy
+                k += 1
+            net_ptr[i + 1] = k
+            net_weight[i] = net.weight
+        self._pin_cache = PinArrays(pin_node, pin_dx, pin_dy, net_ptr, net_weight)
+        self._pin_cache_version = self._topology_version
+        return self._pin_cache
+
+    def set_orientation(self, node: Node, orient: Orientation) -> None:
+        """Re-orient ``node`` about its centre and invalidate pin caches."""
+        cx, cy = node.cx, node.cy
+        node.orientation = orient
+        node.move_center_to(cx, cy)
+        self._topology_version += 1
+
+    # ------------------------------------------------------------------
+    # metrics & checks
+    # ------------------------------------------------------------------
+    def hpwl(self) -> float:
+        """Exact weighted half-perimeter wirelength of the placement."""
+        arrays = self.pin_arrays()
+        if arrays.num_pins == 0:
+            return 0.0
+        cx, cy = self.pull_centers()
+        px, py = arrays.pin_positions(cx, cy)
+        ptr = arrays.net_ptr
+        nonempty = ptr[1:] > ptr[:-1]
+        if not nonempty.any():
+            return 0.0
+        starts = ptr[:-1][nonempty]
+        wx = np.maximum.reduceat(px, starts) - np.minimum.reduceat(px, starts)
+        wy = np.maximum.reduceat(py, starts) - np.minimum.reduceat(py, starts)
+        return float(np.sum(arrays.net_weight[nonempty] * (wx + wy)))
+
+    def movable_area(self) -> float:
+        return sum(
+            n.area for n in self.nodes if n.is_movable and n.kind is not NodeKind.FILLER
+        )
+
+    def fixed_area_in_core(self) -> float:
+        """Area of fixed, placement-blocking footprints clipped to the core."""
+        core = self.core
+        total = 0.0
+        for node in self.nodes:
+            if node.kind.is_fixed and node.kind.blocks_placement:
+                total += core.overlap_area(node.rect)
+        return total
+
+    def utilization(self) -> float:
+        """Movable area over free core area."""
+        free = self.core.area - self.fixed_area_in_core()
+        if free <= 0:
+            return float("inf")
+        return self.movable_area() / free
+
+    def validate(self) -> list:
+        """Consistency diagnostics; an empty list means the design is sound."""
+        problems = []
+        for node in self.nodes:
+            if node.width < 0 or node.height < 0:
+                problems.append(f"node {node.name} has negative size")
+            if node.region is not None and not 0 <= node.region < len(self.regions):
+                problems.append(f"node {node.name} references unknown region {node.region}")
+        for net in self.nets:
+            if net.degree == 0:
+                problems.append(f"net {net.name} has no pins")
+            for pin in net.pins:
+                if not 0 <= pin.node < len(self.nodes):
+                    problems.append(f"net {net.name} pin references unknown node")
+        seen = set()
+        for node in self.nodes:
+            if node.name in seen:
+                problems.append(f"duplicate node name {node.name}")
+            seen.add(node.name)
+        return problems
+
+    def clone_placement(self) -> dict:
+        """Snapshot of every node's position/orientation, for undo."""
+        return {
+            node.index: (node.x, node.y, node.orientation) for node in self.nodes
+        }
+
+    def restore_placement(self, snapshot: dict) -> None:
+        """Restore a snapshot taken by :meth:`clone_placement`."""
+        for idx, (x, y, orient) in snapshot.items():
+            node = self.nodes[idx]
+            node.x, node.y = x, y
+            node.orientation = orient
+        self._topology_version += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Design({self.name!r}, nodes={len(self.nodes)}, "
+            f"nets={len(self.nets)}, rows={len(self.rows)}, "
+            f"regions={len(self.regions)})"
+        )

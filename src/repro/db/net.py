@@ -1,0 +1,55 @@
+"""Nets and pins."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class PinDirection(Enum):
+    """Signal direction of a pin, as recorded in Bookshelf ``.nets``."""
+
+    INPUT = "I"
+    OUTPUT = "O"
+    BIDIR = "B"
+
+    @staticmethod
+    def from_string(text: str) -> "PinDirection":
+        token = text.strip().upper().rstrip(":")
+        if token in ("I", "INPUT"):
+            return PinDirection.INPUT
+        if token in ("O", "OUTPUT"):
+            return PinDirection.OUTPUT
+        if token in ("B", "BIDIR", "INOUT"):
+            return PinDirection.BIDIR
+        raise ValueError(f"unknown pin direction {text!r}")
+
+
+@dataclass
+class Pin:
+    """A net connection point on a node.
+
+    ``dx``/``dy`` are the offset of the pin from the node *centre* in the
+    ``N`` orientation, per the Bookshelf convention.  The oriented offset is
+    computed on demand so candidate rotations never mutate the netlist.
+    """
+
+    node: int  # index into Design.nodes
+    dx: float = 0.0
+    dy: float = 0.0
+    direction: PinDirection = PinDirection.BIDIR
+    net: int = -1  # index into Design.nets, set on add
+
+
+@dataclass
+class Net:
+    """A multi-pin net with an optional weight."""
+
+    name: str
+    pins: list = field(default_factory=list)
+    weight: float = 1.0
+    index: int = -1  # position in Design.nets, set on add
+
+    @property
+    def degree(self) -> int:
+        return len(self.pins)

@@ -1,0 +1,71 @@
+"""Fence regions: the physical footprint of hierarchy constraints.
+
+A fence region constrains every member cell to lie inside the union of its
+rectangles.  NTUplace4h treats one design-hierarchy module (or a contest
+``Region``) as one fence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry import Point, Rect
+
+
+@dataclass
+class Region:
+    """A fence region (union of axis-aligned rectangles)."""
+
+    name: str
+    rects: list = field(default_factory=list)
+    index: int = -1
+
+    @property
+    def area(self) -> float:
+        return sum(r.area for r in self.rects)
+
+    @property
+    def bounding_box(self) -> Rect:
+        if not self.rects:
+            raise ValueError(f"region {self.name!r} has no rectangles")
+        box = self.rects[0]
+        for r in self.rects[1:]:
+            box = box.union(r)
+        return box
+
+    def contains_point(self, p: Point) -> bool:
+        return any(r.contains_point(p) for r in self.rects)
+
+    def contains_rect(self, rect: Rect) -> bool:
+        """Whether ``rect`` fits inside a single member rectangle.
+
+        Unions of rectangles are not merged, so a cell straddling two
+        touching member rects is conservatively reported outside.
+        """
+        return any(r.contains_rect(rect) for r in self.rects)
+
+    def clamp_point(self, p: Point) -> Point:
+        """Nearest point of the region to ``p`` (by Euclidean distance)."""
+        if not self.rects:
+            raise ValueError(f"region {self.name!r} has no rectangles")
+        best = None
+        best_dist = float("inf")
+        for r in self.rects:
+            candidate = r.clamp_point(p)
+            dist = (candidate - p).norm()
+            if dist < best_dist:
+                best, best_dist = candidate, dist
+        return best
+
+    def clamp_rect_origin(self, rect: Rect) -> Point:
+        """Lower-left position keeping ``rect`` inside the nearest member rect."""
+        if not self.rects:
+            raise ValueError(f"region {self.name!r} has no rectangles")
+        best = None
+        best_dist = float("inf")
+        for r in self.rects:
+            origin = r.clamp_rect_origin(rect)
+            dist = abs(origin.x - rect.xl) + abs(origin.y - rect.yl)
+            if dist < best_dist:
+                best, best_dist = origin, dist
+        return best

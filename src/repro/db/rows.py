@@ -1,0 +1,33 @@
+"""Placement rows (Bookshelf ``.scl``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry import Rect
+
+
+@dataclass
+class Row:
+    """A horizontal standard-cell row made of uniform sites."""
+
+    y: float
+    height: float
+    site_width: float
+    x_min: float
+    num_sites: int
+    index: int = -1
+
+    @property
+    def x_max(self) -> float:
+        return self.x_min + self.site_width * self.num_sites
+
+    @property
+    def rect(self) -> Rect:
+        return Rect(self.x_min, self.y, self.x_max, self.y + self.height)
+
+    def snap_x(self, x: float) -> float:
+        """Nearest site boundary at or left of ``x``, clamped into the row."""
+        site = round((x - self.x_min) / self.site_width)
+        site = max(0, min(self.num_sites, site))
+        return self.x_min + site * self.site_width

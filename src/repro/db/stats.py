@@ -1,0 +1,72 @@
+"""Design statistics — the rows of the paper's benchmark table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.node import NodeKind
+
+
+@dataclass
+class DesignStats:
+    """Summary statistics of one design."""
+
+    name: str
+    num_cells: int
+    num_macros: int
+    num_fixed: int
+    num_terminals: int
+    num_nets: int
+    num_pins: int
+    num_regions: int
+    num_modules: int
+    utilization: float
+    macro_area_fraction: float
+    avg_net_degree: float
+    max_net_degree: int
+
+    def as_row(self) -> dict:
+        """Table-friendly dict, in benchmark-table column order."""
+        return {
+            "design": self.name,
+            "#cells": self.num_cells,
+            "#macros": self.num_macros,
+            "#fixed": self.num_fixed,
+            "#terminals": self.num_terminals,
+            "#nets": self.num_nets,
+            "#pins": self.num_pins,
+            "#fences": self.num_regions,
+            "#modules": self.num_modules,
+            "util": round(self.utilization, 3),
+            "macro_area%": round(100.0 * self.macro_area_fraction, 1),
+            "avg_deg": round(self.avg_net_degree, 2),
+            "max_deg": self.max_net_degree,
+        }
+
+
+def compute_stats(design) -> DesignStats:
+    """Compute :class:`DesignStats` for ``design``."""
+    kinds = {}
+    for node in design.nodes:
+        kinds[node.kind] = kinds.get(node.kind, 0) + 1
+    movable_area = design.movable_area()
+    macro_area = sum(
+        n.area for n in design.nodes if n.kind is NodeKind.MACRO
+    )
+    degrees = [net.degree for net in design.nets]
+    return DesignStats(
+        name=design.name,
+        num_cells=kinds.get(NodeKind.CELL, 0),
+        num_macros=kinds.get(NodeKind.MACRO, 0),
+        num_fixed=kinds.get(NodeKind.FIXED, 0),
+        num_terminals=kinds.get(NodeKind.TERMINAL, 0)
+        + kinds.get(NodeKind.TERMINAL_NI, 0),
+        num_nets=len(design.nets),
+        num_pins=design.num_pins,
+        num_regions=len(design.regions),
+        num_modules=max(0, len(design.hierarchy.modules()) - 1),
+        utilization=design.utilization(),
+        macro_area_fraction=(macro_area / movable_area) if movable_area else 0.0,
+        avg_net_degree=(sum(degrees) / len(degrees)) if degrees else 0.0,
+        max_net_degree=max(degrees) if degrees else 0,
+    )

@@ -1,0 +1,267 @@
+"""The bell-shaped density potential and its analytic gradient.
+
+For a node of width ``w`` and a bin of width ``wb``, the one-dimensional
+kernel over the centre distance ``d`` is::
+
+    p(d) = 1 - a*d^2                     for 0 <= d <= w/2 + wb
+         = b*(d - (w/2 + 2*wb))^2        for w/2 + wb <= d <= w/2 + 2*wb
+         = 0                             beyond
+
+    a = 4 / ((w + 2*wb) * (w + 4*wb))
+    b = 2 / (wb * (w + 4*wb))
+
+which is continuous and continuously differentiable at both joints.  A
+node's bin potential is the product of the x and y kernels, normalized so
+its total mass equals the node area; the placement objective adds
+``sum_b (phi_b - target_b)^2`` as a penalty.
+
+Nodes whose kernel support spans few bins ("small": standard cells) are
+processed with fixed-size vectorized window sweeps; macros take a per-node
+sliced path.  Fixed objects enter through the *target*: their exact overlap
+is subtracted from each bin's free capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids import BinGrid
+
+# Window sweeps cost O(K^2) vectorized passes; nodes needing more go to the
+# per-node path.
+_MAX_WINDOW = 8
+
+
+def bell_kernel(d, w, wb):
+    """The 1-D bell kernel ``p`` and derivative ``dp/dd`` at distances ``d``.
+
+    ``d`` may be signed; the kernel is even and the derivative returned is
+    with respect to the *signed* distance (node centre minus bin centre).
+    """
+    d = np.asarray(d, dtype=float)
+    w = np.asarray(w, dtype=float)
+    sign = np.sign(d)
+    ad = np.abs(d)
+    r1 = w / 2.0 + wb
+    r2 = w / 2.0 + 2.0 * wb
+    a = 4.0 / ((w + 2.0 * wb) * (w + 4.0 * wb))
+    b = 2.0 / (wb * (w + 4.0 * wb))
+    inner = ad <= r1
+    outer = (ad > r1) & (ad <= r2)
+    p = np.zeros_like(ad)
+    dp = np.zeros_like(ad)
+    p = np.where(inner, 1.0 - a * ad * ad, p)
+    dp = np.where(inner, -2.0 * a * ad, dp)
+    p = np.where(outer, b * (ad - r2) ** 2, p)
+    dp = np.where(outer, 2.0 * b * (ad - r2), dp)
+    return p, dp * sign
+
+
+class BellDensity:
+    """Vectorized bell-shape density potential over a :class:`BinGrid`."""
+
+    def __init__(
+        self,
+        grid: BinGrid,
+        widths: np.ndarray,
+        heights: np.ndarray,
+        movable_mask: np.ndarray,
+        fixed_rects=(),
+        target_density: float | None = None,
+        target_scale: np.ndarray | None = None,
+    ):
+        """``target_scale`` (optional, per bin in [0, 1]) modulates how much
+        cell area each bin should attract — the whitespace-reservation
+        hook: bins over routing-starved regions get a scale below 1 so
+        the placer leaves room for wires there."""
+        self.grid = grid
+        self.widths = np.asarray(widths, dtype=float)
+        self.heights = np.asarray(heights, dtype=float)
+        self.movable = np.asarray(movable_mask, dtype=bool)
+        self.num_nodes = len(self.widths)
+        # Effective spreading areas; congestion inflation overwrites these.
+        self.areas = self.widths * self.heights
+        # Free capacity per bin after fixed objects.
+        base = grid.zeros()
+        for xl, yl, xh, yh in fixed_rects:
+            from repro.geometry import Rect
+
+            if xh > xl and yh > yl:
+                grid.add_rect(base, Rect(xl, yl, xh, yh))
+        self.base = base
+        self.free = np.maximum(grid.bin_area - base, 0.0)
+        self.target_density = target_density
+        if target_scale is not None:
+            scale = np.asarray(target_scale, dtype=float)
+            if scale.shape != self.free.shape:
+                raise ValueError("target_scale must match the grid shape")
+            self.free = self.free * np.clip(scale, 0.0, 1.0)
+        self._split_small_large()
+        self._target_cache = None
+
+    # ------------------------------------------------------------------
+    def _split_small_large(self):
+        wb, hb = self.grid.bin_w, self.grid.bin_h
+        span_x = np.ceil((self.widths + 4.0 * wb) / wb).astype(int) + 1
+        span_y = np.ceil((self.heights + 4.0 * hb) / hb).astype(int) + 1
+        movable_idx = np.flatnonzero(self.movable)
+        small = movable_idx[
+            (span_x[movable_idx] <= _MAX_WINDOW) & (span_y[movable_idx] <= _MAX_WINDOW)
+        ]
+        large = movable_idx[
+            (span_x[movable_idx] > _MAX_WINDOW) | (span_y[movable_idx] > _MAX_WINDOW)
+        ]
+        self._small = small
+        self._large = large
+        if len(small):
+            self._kx = int(span_x[small].max())
+            self._ky = int(span_y[small].max())
+        else:
+            self._kx = self._ky = 0
+
+    def set_areas(self, areas: np.ndarray) -> None:
+        """Override spreading areas (congestion-driven cell inflation)."""
+        self.areas = np.asarray(areas, dtype=float)
+        self._target_cache = None
+
+    def target(self) -> np.ndarray:
+        """Per-bin target potential.
+
+        Free space is filled uniformly at the design's average utilization
+        (or the user's ``target_density`` if that is higher), so total
+        target mass is at least the total movable mass.
+        """
+        if self._target_cache is not None:
+            return self._target_cache
+        total_free = float(np.sum(self.free))
+        total_area = float(np.sum(self.areas[self.movable]))
+        t_auto = total_area / total_free if total_free > 0 else 1.0
+        t = t_auto if self.target_density is None else max(
+            min(self.target_density, 1.0), t_auto
+        )
+        self._target_cache = t * self.free
+        return self._target_cache
+
+    # ------------------------------------------------------------------
+    def potential(self, cx: np.ndarray, cy: np.ndarray):
+        """The bin potential field and the per-node kernel tables.
+
+        Returns ``(phi, small_tables, large_tables)``; the tables carry
+        everything the gradient pass needs so kernels are evaluated once.
+        """
+        grid = self.grid
+        phi = grid.zeros()
+        small_tables = None
+        if len(self._small):
+            idx = self._small
+            u = cx[idx]
+            v = cy[idx]
+            w = self.widths[idx]
+            h = self.heights[idx]
+            wb, hb = grid.bin_w, grid.bin_h
+            rx = w / 2.0 + 2.0 * wb
+            ry = h / 2.0 + 2.0 * hb
+            ix0 = np.ceil((u - rx - grid.area.xl) / wb - 0.5).astype(np.int64)
+            iy0 = np.ceil((v - ry - grid.area.yl) / hb - 0.5).astype(np.int64)
+            ks = np.arange(self._kx)
+            ls = np.arange(self._ky)
+            ix_all = ix0[:, None] + ks[None, :]
+            iy_all = iy0[:, None] + ls[None, :]
+            bin_cx = grid.area.xl + (ix_all + 0.5) * wb
+            bin_cy = grid.area.yl + (iy_all + 0.5) * hb
+            px, dpx = bell_kernel(u[:, None] - bin_cx, w[:, None], wb)
+            py, dpy = bell_kernel(v[:, None] - bin_cy, h[:, None], hb)
+            valid_x = (ix_all >= 0) & (ix_all < grid.nx)
+            valid_y = (iy_all >= 0) & (iy_all < grid.ny)
+            px = np.where(valid_x, px, 0.0)
+            dpx = np.where(valid_x, dpx, 0.0)
+            py = np.where(valid_y, py, 0.0)
+            dpy = np.where(valid_y, dpy, 0.0)
+            sum_px = px.sum(axis=1)
+            sum_py = py.sum(axis=1)
+            mass = sum_px * sum_py
+            norm = np.where(mass > 0, self.areas[idx] / np.maximum(mass, 1e-30), 0.0)
+            # One flattened scatter instead of Kx*Ky passes.
+            flat = (
+                np.clip(ix_all, 0, grid.nx - 1)[:, :, None] * grid.ny
+                + np.clip(iy_all, 0, grid.ny - 1)[:, None, :]
+            )
+            contrib = (norm[:, None] * px)[:, :, None] * py[:, None, :]
+            np.add.at(phi.reshape(-1), flat.reshape(-1), contrib.reshape(-1))
+            small_tables = (idx, flat, px, dpx, py, dpy, norm)
+        large_tables = []
+        for i in self._large:
+            entry = self._large_node_kernel(i, cx[i], cy[i])
+            if entry is None:
+                continue
+            sl_x, sl_y, px, dpx, py, dpy, norm = entry
+            phi[np.ix_(sl_x, sl_y)] += norm * np.outer(px, py)
+            large_tables.append((i, sl_x, sl_y, px, dpx, py, dpy, norm))
+        return phi, small_tables, large_tables
+
+    def _large_node_kernel(self, i: int, u: float, v: float):
+        grid = self.grid
+        wb, hb = grid.bin_w, grid.bin_h
+        w, h = self.widths[i], self.heights[i]
+        rx = w / 2.0 + 2.0 * wb
+        ry = h / 2.0 + 2.0 * hb
+        ix0 = max(0, int(np.ceil((u - rx - grid.area.xl) / wb - 0.5)))
+        ix1 = min(grid.nx - 1, int(np.floor((u + rx - grid.area.xl) / wb - 0.5)))
+        iy0 = max(0, int(np.ceil((v - ry - grid.area.yl) / hb - 0.5)))
+        iy1 = min(grid.ny - 1, int(np.floor((v + ry - grid.area.yl) / hb - 0.5)))
+        if ix1 < ix0 or iy1 < iy0:
+            return None
+        sl_x = np.arange(ix0, ix1 + 1)
+        sl_y = np.arange(iy0, iy1 + 1)
+        bin_cx = grid.area.xl + (sl_x + 0.5) * wb
+        bin_cy = grid.area.yl + (sl_y + 0.5) * hb
+        px, dpx = bell_kernel(u - bin_cx, w, wb)
+        py, dpy = bell_kernel(v - bin_cy, h, hb)
+        mass = px.sum() * py.sum()
+        if mass <= 0:
+            return None
+        norm = self.areas[i] / mass
+        return sl_x, sl_y, px, dpx, py, dpy, norm
+
+    # ------------------------------------------------------------------
+    def value_grad(self, cx: np.ndarray, cy: np.ndarray):
+        """Penalty ``sum_b (phi_b - target_b)^2`` and its node gradient."""
+        phi, small_tables, large_tables = self.potential(cx, cy)
+        psi = phi - self.target()
+        value = float(np.sum(psi * psi))
+        grad_x = np.zeros(self.num_nodes)
+        grad_y = np.zeros(self.num_nodes)
+        grid = self.grid
+        # The kernel mass sum_k p(k) varies with a node's phase relative to
+        # the bin grid, so the normalization N = area / (Sx * Sy) is itself
+        # position dependent; including dN makes the gradient exact.
+        if small_tables is not None:
+            idx, flat, px, dpx, py, dpy, norm = small_tables
+            field = psi.reshape(-1)[flat]  # (n, Kx, Ky), one gather
+            fy = field * py[:, None, :]
+            gx = (fy * dpx[:, :, None]).sum(axis=(1, 2))
+            gpp = (fy * px[:, :, None]).sum(axis=(1, 2))
+            gy = (field * px[:, :, None] * dpy[:, None, :]).sum(axis=(1, 2))
+            sum_px = np.maximum(px.sum(axis=1), 1e-30)
+            sum_py = np.maximum(py.sum(axis=1), 1e-30)
+            sum_dpx = dpx.sum(axis=1)
+            sum_dpy = dpy.sum(axis=1)
+            grad_x[idx] = 2.0 * norm * (gx - gpp * sum_dpx / sum_px)
+            grad_y[idx] = 2.0 * norm * (gy - gpp * sum_dpy / sum_py)
+        for i, sl_x, sl_y, px, dpx, py, dpy, norm in large_tables:
+            field = psi[np.ix_(sl_x, sl_y)]
+            gpp = float(px @ field @ py)
+            sum_px = max(float(px.sum()), 1e-30)
+            sum_py = max(float(py.sum()), 1e-30)
+            grad_x[i] = 2.0 * norm * (
+                float(dpx @ field @ py) - gpp * float(dpx.sum()) / sum_px
+            )
+            grad_y[i] = 2.0 * norm * (
+                float(px @ field @ dpy) - gpp * float(dpy.sum()) / sum_py
+            )
+        return value, grad_x, grad_y
+
+    def value(self, cx: np.ndarray, cy: np.ndarray) -> float:
+        phi, _, _ = self.potential(cx, cy)
+        psi = phi - self.target()
+        return float(np.sum(psi * psi))

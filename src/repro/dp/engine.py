@@ -1,0 +1,139 @@
+"""The detailed-placement engine: pass scheduling and congestion gating."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dp.hpwl_delta import IncrementalHPWL
+from repro.dp.matching import matching_pass
+from repro.dp.reorder import local_reorder_pass
+from repro.dp.swap import global_swap_pass, vertical_swap_pass
+from repro.route.rudy import rudy_map
+
+
+@dataclass
+class DPConfig:
+    """Knobs of :class:`DetailedPlacer`."""
+
+    rounds: int = 2
+    global_swap: bool = True
+    vertical_swap: bool = True
+    local_reorder: bool = True
+    matching: bool = True
+    reorder_window: int = 3
+    swap_candidates: int = 8
+    matching_batch: int = 24
+    # Congestion gating: moves into tiles whose estimated congestion
+    # exceeds the threshold are rejected (requires design.routing).
+    congestion_aware: bool = True
+    congestion_gate_threshold: float = 0.9
+    # Congestion-driven spreading: evacuate cells from hot tiles into
+    # cool whitespace after the wirelength passes (congestion_aware only).
+    congestion_spread: bool = True
+    spread_threshold: float = 0.9
+    spread_max_moves: int = 200
+    min_gain_per_round: float = 1e-6
+
+
+@dataclass
+class DPReport:
+    """Outcome of detailed placement."""
+
+    hpwl_before: float = 0.0
+    hpwl_after: float = 0.0
+    passes: list = field(default_factory=list)  # (name, accepted, gain)
+    runtime_seconds: float = 0.0
+
+    @property
+    def improvement(self) -> float:
+        if self.hpwl_before <= 0:
+            return 0.0
+        return (self.hpwl_before - self.hpwl_after) / self.hpwl_before
+
+
+class DetailedPlacer:
+    """Runs swap / reorder / matching rounds on a legalized design."""
+
+    def __init__(self, config: DPConfig | None = None):
+        self.config = config or DPConfig()
+
+    def run(self, design, submap) -> DPReport:
+        cfg = self.config
+        t0 = time.time()
+        report = DPReport(hpwl_before=design.hpwl())
+        inc = IncrementalHPWL(design)
+        gate = self._make_gate(design) if cfg.congestion_aware else None
+        for _ in range(cfg.rounds):
+            round_gain = 0.0
+            if cfg.global_swap:
+                acc, gain = global_swap_pass(
+                    design, inc, candidates_per_cell=cfg.swap_candidates, gate=gate
+                )
+                report.passes.append(("global_swap", acc, gain))
+                round_gain += gain
+            if cfg.vertical_swap:
+                acc, gain = vertical_swap_pass(design, inc, gate=gate)
+                report.passes.append(("vertical_swap", acc, gain))
+                round_gain += gain
+            if cfg.local_reorder:
+                # Swap passes move cells between rows; refresh membership.
+                submap.rebuild_cells(design)
+                acc, gain = local_reorder_pass(
+                    design, inc, submap, window=cfg.reorder_window
+                )
+                report.passes.append(("local_reorder", acc, gain))
+                round_gain += gain
+            if cfg.matching:
+                acc, gain = matching_pass(
+                    design, inc, batch_size=cfg.matching_batch, gate=gate
+                )
+                report.passes.append(("matching", acc, gain))
+                round_gain += gain
+            if round_gain < cfg.min_gain_per_round * max(report.hpwl_before, 1.0):
+                break
+        if cfg.congestion_aware and cfg.congestion_spread and design.routing is not None:
+            from repro.dp.spreading import congestion_spread_pass
+
+            moves, delta = congestion_spread_pass(
+                design,
+                submap,
+                inc,
+                threshold=cfg.spread_threshold,
+                max_moves=cfg.spread_max_moves,
+            )
+            report.passes.append(("congestion_spread", moves, -delta))
+        report.hpwl_after = design.hpwl()
+        report.runtime_seconds = time.time() - t0
+        return report
+
+    def _make_gate(self, design):
+        """Reject moves whose destination tile is congested (estimated)."""
+        if design.routing is None:
+            return None
+        grid = design.routing.grid
+        arrays = design.pin_arrays()
+        cx, cy = design.pull_centers()
+        demand = rudy_map(arrays, cx, cy, grid)
+        supply = (
+            design.routing.hcap * grid.bin_h + design.routing.vcap * grid.bin_w
+        ) / grid.bin_area
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cong = np.where(supply > 0, demand / np.maximum(supply, 1e-12), 0.0)
+        threshold = self.config.congestion_gate_threshold
+
+        def gate(moves) -> bool:
+            for idx, nx, ny in moves:
+                sx, sy = grid.index_of(
+                    design.nodes[idx].cx, design.nodes[idx].cy
+                )
+                dx, dy = grid.index_of(nx, ny)
+                dest = cong[int(dx), int(dy)]
+                src = cong[int(sx), int(sy)]
+                if dest > threshold and dest > src + 0.05:
+                    return False
+            return True
+
+        return gate

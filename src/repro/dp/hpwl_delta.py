@@ -1,0 +1,157 @@
+"""Incremental HPWL bookkeeping for detailed placement.
+
+Detailed placement evaluates millions of candidate moves; recomputing the
+whole wirelength each time would dominate runtime.  ``IncrementalHPWL``
+keeps per-net pin coordinates and bounding boxes and answers "what would
+the HPWL delta be if these nodes moved to these centres" in time
+proportional to the number of pins on the affected nets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class IncrementalHPWL:
+    """Maintains per-net bounding boxes under node moves."""
+
+    def __init__(self, design):
+        self.design = design
+        arrays = design.pin_arrays()
+        self.arrays = arrays
+        cx, cy = design.pull_centers()
+        self.cx = cx
+        self.cy = cy
+        self.px = cx[arrays.pin_node] + arrays.pin_dx
+        self.py = cy[arrays.pin_node] + arrays.pin_dy
+        self.net_ptr = arrays.net_ptr
+        self.weights = arrays.net_weight
+        # nets touching each node
+        self.node_nets = [sorted({p.net for p in n.pins}) for n in design.nodes]
+        self._net_pin_slices = [
+            slice(int(self.net_ptr[i]), int(self.net_ptr[i + 1]))
+            for i in range(arrays.num_nets)
+        ]
+        # Cached per-net bounding boxes make the "before" side of every
+        # delta O(1); they are refreshed on apply_moves.
+        n = arrays.num_nets
+        self._bb = np.zeros((n, 4))  # xl, xh, yl, yh
+        for net in range(n):
+            self._refresh_bbox(net)
+
+    def _refresh_bbox(self, net: int) -> None:
+        sl = self._net_pin_slices[net]
+        if sl.stop - sl.start == 0:
+            return
+        px = self.px[sl]
+        py = self.py[sl]
+        self._bb[net, 0] = px.min()
+        self._bb[net, 1] = px.max()
+        self._bb[net, 2] = py.min()
+        self._bb[net, 3] = py.max()
+
+    # ------------------------------------------------------------------
+    def net_hpwl(self, net: int) -> float:
+        sl = self._net_pin_slices[net]
+        if sl.stop - sl.start < 2:
+            return 0.0
+        bb = self._bb[net]
+        return float(self.weights[net] * ((bb[1] - bb[0]) + (bb[3] - bb[2])))
+
+    def total(self) -> float:
+        return float(
+            sum(self.net_hpwl(n) for n in range(self.arrays.num_nets))
+        )
+
+    def delta_for_moves(self, moves) -> float:
+        """HPWL change if each ``(node_index, new_cx, new_cy)`` applied.
+
+        Evaluates affected nets exactly (handles several nodes on one
+        net).  Does not mutate state.
+        """
+        nets = {n for idx, _, _ in moves for n in self.node_nets[idx]}
+        new_pos = {idx: (nx, ny) for idx, nx, ny in moves}
+        pin_node = self.arrays.pin_node
+        pin_dx = self.arrays.pin_dx
+        pin_dy = self.arrays.pin_dy
+        delta = 0.0
+        for n in nets:
+            sl = self._net_pin_slices[n]
+            count = sl.stop - sl.start
+            if count < 2:
+                continue
+            bb = self._bb[n]
+            before = (bb[1] - bb[0]) + (bb[3] - bb[2])
+            xl = xh = yl = yh = None
+            for k in range(sl.start, sl.stop):
+                nd = int(pin_node[k])
+                pos = new_pos.get(nd)
+                if pos is None:
+                    x = self.px[k]
+                    y = self.py[k]
+                else:
+                    x = pos[0] + pin_dx[k]
+                    y = pos[1] + pin_dy[k]
+                if xl is None:
+                    xl = xh = x
+                    yl = yh = y
+                else:
+                    if x < xl:
+                        xl = x
+                    elif x > xh:
+                        xh = x
+                    if y < yl:
+                        yl = y
+                    elif y > yh:
+                        yh = y
+            delta += self.weights[n] * ((xh - xl) + (yh - yl) - before)
+        return float(delta)
+
+    def apply_moves(self, moves) -> None:
+        """Commit moves: update cached coordinates and the design nodes."""
+        for idx, ncx, ncy in moves:
+            node = self.design.nodes[idx]
+            node.move_center_to(ncx, ncy)
+            self.cx[idx] = ncx
+            self.cy[idx] = ncy
+        pin_node = self.arrays.pin_node
+        nets = sorted({n for idx, _, _ in moves for n in self.node_nets[idx]})
+        moved = {idx for idx, _, _ in moves}
+        for n in nets:
+            sl = self._net_pin_slices[n]
+            nodes = pin_node[sl]
+            for k, nd in enumerate(nodes):
+                nd = int(nd)
+                if nd in moved:
+                    self.px[sl.start + k] = self.cx[nd] + self.arrays.pin_dx[sl.start + k]
+                    self.py[sl.start + k] = self.cy[nd] + self.arrays.pin_dy[sl.start + k]
+            self._refresh_bbox(n)
+
+    def optimal_region(self, idx: int):
+        """The median window of ``idx``'s nets — the classic optimal
+        region a cell would move to if nets were the only force.
+
+        Returns ``(x_lo, x_hi, y_lo, y_hi)`` from the medians of the other
+        pins' bounding coordinates, or ``None`` for unconnected cells.
+        """
+        xs_lo, xs_hi, ys_lo, ys_hi = [], [], [], []
+        for n in self.node_nets[idx]:
+            sl = self._net_pin_slices[n]
+            nodes = self.arrays.pin_node[sl]
+            mask = nodes != idx
+            if not mask.any():
+                continue
+            px = self.px[sl][mask]
+            py = self.py[sl][mask]
+            xs_lo.append(px.min())
+            xs_hi.append(px.max())
+            ys_lo.append(py.min())
+            ys_hi.append(py.max())
+        if not xs_lo:
+            return None
+        return (
+            float(np.median(xs_lo)),
+            float(np.median(xs_hi)),
+            float(np.median(ys_lo)),
+            float(np.median(ys_hi)),
+        )

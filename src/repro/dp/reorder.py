@@ -1,0 +1,59 @@
+"""Local reordering: optimal permutation of small windows within a sub-row."""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from repro.dp.hpwl_delta import IncrementalHPWL
+
+
+def local_reorder_pass(
+    design, inc: IncrementalHPWL, submap, *, window: int = 3
+) -> tuple:
+    """Slide a ``window``-cell window along every sub-row, trying all
+    orders of the windowed cells (packed left, preserving total span).
+
+    Returns ``(#accepted, HPWL gain)``.  Legality is preserved: the
+    permuted cells are repacked from the window's original left edge and
+    their total width is unchanged.
+    """
+    accepted = 0
+    gain = 0.0
+    for sr in submap.subrows:
+        ids = sorted(sr.cells, key=lambda i: design.nodes[i].x)
+        sr.cells = ids
+        if len(ids) < 2:
+            continue
+        for start in range(0, len(ids) - 1):
+            group = ids[start : start + window]
+            if len(group) < 2:
+                continue
+            nodes = [design.nodes[i] for i in group]
+            left = min(n.x for n in nodes)
+            best_delta = 0.0
+            best_moves = None
+            for perm in permutations(group):
+                if list(perm) == group:
+                    continue
+                x = left
+                moves = []
+                for i in perm:
+                    node = design.nodes[i]
+                    moves.append(
+                        (i, x + node.placed_width / 2.0, node.y + node.placed_height / 2.0)
+                    )
+                    x += node.placed_width
+                delta = inc.delta_for_moves(moves)
+                if delta < best_delta - 1e-9:
+                    best_delta = delta
+                    best_moves = moves
+            if best_moves is not None:
+                inc.apply_moves(best_moves)
+                accepted += 1
+                gain -= best_delta
+                # Keep the order list consistent with new x positions.
+                ids[start : start + window] = sorted(
+                    group, key=lambda i: design.nodes[i].x
+                )
+        sr.cells = sorted(ids, key=lambda i: design.nodes[i].x)
+    return accepted, gain

@@ -1,0 +1,134 @@
+"""Congestion-driven cell spreading (post-legalization refinement).
+
+The last routability lever in the flow: after legalization, cells
+sitting in tiles whose estimated congestion exceeds a threshold are
+evacuated into nearby whitespace in cooler tiles, preserving legality
+exactly (cells move into verified sub-row gaps).  HPWL is allowed to
+degrade by a bounded amount per move — trading wirelength for
+routability is the point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db import NodeKind
+from repro.route.rudy import rudy_map
+
+
+def _free_intervals(design, sr):
+    """Maximal free intervals of a sub-row, from its current cells."""
+    cells = sorted(sr.cells, key=lambda i: design.nodes[i].x)
+    out = []
+    cursor = sr.x_min
+    for idx in cells:
+        node = design.nodes[idx]
+        if node.x > cursor + 1e-9:
+            out.append((cursor, node.x))
+        cursor = max(cursor, node.x + node.placed_width)
+    if cursor < sr.x_max - 1e-9:
+        out.append((cursor, sr.x_max))
+    return out
+
+
+def congestion_spread_pass(
+    design,
+    submap,
+    inc=None,
+    *,
+    threshold: float = 0.9,
+    max_moves: int = 200,
+    max_distance: float | None = None,
+    hpwl_slack: float = 0.002,
+) -> tuple:
+    """Move cells out of congested tiles into cool whitespace.
+
+    Returns ``(moves_made, hpwl_delta)``.  ``hpwl_slack`` bounds the
+    acceptable HPWL increase per move as a fraction of total HPWL.
+    ``inc`` is an optional shared :class:`~repro.dp.IncrementalHPWL`.
+    """
+    if design.routing is None:
+        return 0, 0.0
+    from repro.dp.hpwl_delta import IncrementalHPWL
+
+    if inc is None:
+        inc = IncrementalHPWL(design)
+    grid = design.routing.grid
+    arrays = design.pin_arrays()
+    cx, cy = design.pull_centers()
+    demand = rudy_map(arrays, cx, cy, grid)
+    supply = (
+        design.routing.hcap * grid.bin_h + design.routing.vcap * grid.bin_w
+    ) / grid.bin_area
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cong = np.where(supply > 0, demand / np.maximum(supply, 1e-12), 0.0)
+
+    if max_distance is None:
+        max_distance = 0.25 * max(design.core.width, design.core.height)
+    hpwl_budget = hpwl_slack * max(design.hpwl(), 1.0)
+
+    submap.rebuild_cells(design)
+
+    def tile_of(x, y):
+        ix, iy = grid.index_of(x, y)
+        return int(ix), int(iy)
+
+    # Hot cells, hottest tiles first, low pin count first (cheap to move).
+    hot_cells = []
+    for node in design.nodes:
+        if not node.is_movable or node.kind is not NodeKind.CELL:
+            continue
+        ix, iy = tile_of(node.cx, node.cy)
+        if cong[ix, iy] > threshold:
+            hot_cells.append((-cong[ix, iy], len(node.pins), node.index))
+    hot_cells.sort()
+
+    moves = 0
+    total_delta = 0.0
+    for _, _, idx in hot_cells:
+        if moves >= max_moves:
+            break
+        node = design.nodes[idx]
+        src_sr = None
+        for sr in submap.for_region(node.region):
+            if idx in sr.cells:
+                src_sr = sr
+                break
+        if src_sr is None:
+            continue
+        best = None
+        best_cost = float("inf")
+        for sr in submap.for_region(node.region):
+            if abs(sr.y - node.y) > max_distance:
+                continue
+            for lo, hi in _free_intervals(design, sr):
+                if hi - lo < node.placed_width - 1e-9:
+                    continue
+                # Candidate x nearest to the cell inside the gap.
+                x = min(max(node.x, lo), hi - node.placed_width)
+                x = sr.snap_x(x, node.placed_width)
+                if x < lo - 1e-9 or x + node.placed_width > hi + 1e-9:
+                    continue
+                ncx = x + node.placed_width / 2.0
+                ncy = sr.y + node.placed_height / 2.0
+                tix, tiy = tile_of(ncx, ncy)
+                if cong[tix, tiy] > threshold * 0.9:
+                    continue  # destination must actually be cooler
+                dist = abs(ncx - node.cx) + abs(ncy - node.cy)
+                if dist > max_distance or dist < 1e-9:
+                    continue
+                if dist < best_cost:
+                    best_cost = dist
+                    best = (sr, x, ncx, ncy)
+        if best is None:
+            continue
+        sr, x, ncx, ncy = best
+        delta = inc.delta_for_moves([(idx, ncx, ncy)])
+        if delta > hpwl_budget:
+            continue
+        inc.apply_moves([(idx, ncx, ncy)])
+        src_sr.cells.remove(idx)
+        sr.cells.append(idx)
+        moves += 1
+        total_delta += delta
+    return moves, total_delta

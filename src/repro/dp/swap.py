@@ -1,0 +1,163 @@
+"""Global and vertical swap passes.
+
+Each standard cell is driven toward its *optimal region* (the median box
+of its nets); a same-footprint cell already sitting there is the swap
+partner.  Swapping equal-width cells between their slots preserves
+legality exactly, including fence domains (partners must share the fence
+region id).
+"""
+
+from __future__ import annotations
+
+from repro.db import NodeKind
+from repro.dp.hpwl_delta import IncrementalHPWL
+
+
+class _SlotIndex:
+    """Same-footprint candidate lookup, bucketed by (width, region).
+
+    Buckets are kept sorted by x at pass start; lookups bisect to the
+    query abscissa and scan outward, so a pass costs O(n * (log n + k))
+    instead of the naive O(n^2).  Positions in the index go slightly
+    stale as swaps commit — harmless, since candidates are re-read from
+    the design when scoring.
+    """
+
+    def __init__(self, design, cells):
+        import bisect
+
+        self._bisect = bisect
+        self.design = design
+        self.buckets = {}
+        for idx in cells:
+            node = design.nodes[idx]
+            key = (round(node.placed_width, 6), node.region)
+            self.buckets.setdefault(key, []).append((node.cx, node.cy, idx))
+        for bucket in self.buckets.values():
+            bucket.sort()
+        self._keys = {
+            key: [e[0] for e in bucket] for key, bucket in self.buckets.items()
+        }
+
+    def candidates(self, node, x: float, y: float, k: int, *, rows=None):
+        """Up to ``k`` same-footprint cells nearest to ``(x, y)``.
+
+        ``rows`` restricts partners to given y coordinates (vertical swap).
+        """
+        key = (round(node.placed_width, 6), node.region)
+        bucket = self.buckets.get(key)
+        if not bucket:
+            return []
+        xs = self._keys[key]
+        pos = self._bisect.bisect_left(xs, x)
+        # Scan outward in x, keeping the k best by full manhattan metric.
+        scored = []
+        lo, hi = pos - 1, pos
+        worst = float("inf")
+        probe_budget = max(4 * k, 16)
+        while probe_budget > 0 and (lo >= 0 or hi < len(bucket)):
+            if hi < len(bucket) and (lo < 0 or abs(xs[hi] - x) <= abs(xs[lo] - x)):
+                cx0, cy0, idx = bucket[hi]
+                hi += 1
+            else:
+                cx0, cy0, idx = bucket[lo]
+                lo -= 1
+            probe_budget -= 1
+            if idx == node.index:
+                continue
+            other = self.design.nodes[idx]
+            if rows is not None and round(other.y, 6) not in rows:
+                continue
+            dist = abs(other.cx - x) + abs(other.cy - y)
+            if dist < worst or len(scored) < k:
+                scored.append((dist, idx))
+                scored.sort()
+                if len(scored) > k:
+                    scored.pop()
+                worst = scored[-1][0]
+            # Early exit: once the x gap alone exceeds the worst kept
+            # distance, nothing further out can improve.
+            if len(scored) == k:
+                next_gap = min(
+                    abs(xs[hi] - x) if hi < len(bucket) else float("inf"),
+                    abs(xs[lo] - x) if lo >= 0 else float("inf"),
+                )
+                if next_gap > worst:
+                    break
+        return [idx for _, idx in scored]
+
+
+def _swap_sweep(
+    design,
+    inc: IncrementalHPWL,
+    *,
+    candidates_per_cell: int,
+    rows_for,
+    gate=None,
+) -> tuple:
+    """One sweep of swap attempts; returns (#accepted, HPWL gain)."""
+    cells = [
+        n.index
+        for n in design.nodes
+        if n.is_movable and n.kind is NodeKind.CELL
+    ]
+    index = _SlotIndex(design, cells)
+    accepted = 0
+    gain = 0.0
+    for idx in cells:
+        node = design.nodes[idx]
+        region = inc.optimal_region(idx)
+        if region is None:
+            continue
+        x_lo, x_hi, y_lo, y_hi = region
+        tx = min(max(node.cx, x_lo), x_hi)
+        ty = min(max(node.cy, y_lo), y_hi)
+        if abs(tx - node.cx) + abs(ty - node.cy) < design.site_width:
+            continue  # already in its optimal region
+        rows = rows_for(node) if rows_for else None
+        for other_idx in index.candidates(node, tx, ty, candidates_per_cell, rows=rows):
+            other = design.nodes[other_idx]
+            moves = [
+                (idx, other.cx, other.cy),
+                (other_idx, node.cx, node.cy),
+            ]
+            if gate is not None and not gate(moves):
+                continue
+            delta = inc.delta_for_moves(moves)
+            if delta < -1e-9:
+                inc.apply_moves(moves)
+                accepted += 1
+                gain -= delta
+                break
+    return accepted, gain
+
+
+def global_swap_pass(
+    design, inc: IncrementalHPWL, *, candidates_per_cell: int = 8, gate=None
+) -> tuple:
+    """Unrestricted same-footprint swaps toward optimal regions."""
+    return _swap_sweep(
+        design,
+        inc,
+        candidates_per_cell=candidates_per_cell,
+        rows_for=None,
+        gate=gate,
+    )
+
+
+def vertical_swap_pass(
+    design, inc: IncrementalHPWL, *, candidates_per_cell: int = 4, gate=None
+) -> tuple:
+    """Swaps restricted to the rows adjacent to each cell's own."""
+    row_h = design.row_height
+
+    def rows_for(node):
+        return {round(node.y + row_h, 6), round(node.y - row_h, 6)}
+
+    return _swap_sweep(
+        design,
+        inc,
+        candidates_per_cell=candidates_per_cell,
+        rows_for=rows_for,
+        gate=gate,
+    )

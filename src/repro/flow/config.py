@@ -1,0 +1,41 @@
+"""Flow-level configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dp import DPConfig
+from repro.gp import GPConfig
+
+
+@dataclass
+class FlowConfig:
+    """Configuration of the full NTUplace4h-style flow."""
+
+    gp: GPConfig = field(default_factory=GPConfig)
+    dp: DPConfig = field(default_factory=DPConfig)
+    # Cell-only GP refinement after mid-flow macro legalization.
+    refine_after_macro_legal: bool = True
+    refine_outer_iterations: int = 16
+    run_dp: bool = True
+    macro_channel: float = 0.0  # clearance reserved around macros
+    # Congestion-driven net weighting between GP and the refinement pass
+    # (extension lever; complements cell inflation).
+    net_weighting: bool = False
+    net_weighting_strength: float = 1.0
+    net_weighting_max: float = 4.0
+    # Timing-driven net weighting (extension; repro.timing STA).
+    timing_weighting: bool = False
+    timing_weighting_strength: float = 2.0
+    timing_weighting_max: float = 5.0
+    # Evaluation router settings.
+    route_sweeps: int = 2
+    route_maze_rounds: int = 3
+
+    @staticmethod
+    def wirelength_only() -> "FlowConfig":
+        """The paper's baseline: identical flow, routability levers off."""
+        cfg = FlowConfig()
+        cfg.gp.routability = False
+        cfg.dp.congestion_aware = False
+        return cfg

@@ -1,0 +1,153 @@
+"""The NTUplace4h flow orchestrator."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.db import Design
+from repro.dp import DetailedPlacer
+from repro.flow.config import FlowConfig
+from repro.gp import GlobalPlacer, GPConfig
+from repro.legal import Legalizer, legalize_macros
+from repro.route import GlobalRouter, scaled_hpwl
+
+
+@dataclass
+class FlowResult:
+    """Everything the result tables need about one flow run."""
+
+    design_name: str
+    hpwl_gp: float = 0.0
+    hpwl_legal: float = 0.0
+    hpwl_final: float = 0.0
+    rc: float = 0.0
+    scaled_hpwl: float = 0.0
+    total_overflow: float = 0.0
+    peak_congestion: float = 0.0
+    legal: bool = False
+    stage_seconds: dict = field(default_factory=dict)
+    gp_report: object = None
+    legal_result: object = None
+    dp_report: object = None
+    route_result: object = None
+
+    @property
+    def runtime_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def as_row(self) -> dict:
+        return {
+            "design": self.design_name,
+            "HPWL": round(self.hpwl_final, 0),
+            "RC": round(self.rc, 4),
+            "sHPWL": round(self.scaled_hpwl, 0),
+            "overflow": round(self.total_overflow, 1),
+            "peak": round(self.peak_congestion, 2),
+            "legal": "yes" if self.legal else "NO",
+            "time_s": round(self.runtime_seconds, 1),
+        }
+
+
+class NTUplace4H:
+    """Routability-driven placement flow for hierarchical mixed-size designs."""
+
+    def __init__(self, config: FlowConfig | None = None):
+        self.config = config or FlowConfig()
+
+    def run(self, design: Design, *, route: bool = True) -> FlowResult:
+        """Place ``design`` end to end; optionally score it by routing.
+
+        Reported HPWL always uses the design's *original* net weights —
+        the flow's own weighting levers (congestion/timing) change the
+        optimization objective, not the scoring metric.
+        """
+        cfg = self.config
+        result = FlowResult(design_name=design.name)
+        score_weights = [net.weight for net in design.nets]
+
+        def scored_hpwl() -> float:
+            import numpy as np
+
+            from repro.wirelength import hpwl_per_net
+
+            arrays = design.pin_arrays()
+            cx, cy = design.pull_centers()
+            return float(
+                np.dot(score_weights, hpwl_per_net(arrays, cx, cy))
+            )
+
+        t = time.time()
+        gp_report = GlobalPlacer(cfg.gp).place(design)
+        result.stage_seconds["global_place"] = time.time() - t
+        result.gp_report = gp_report
+        result.hpwl_gp = scored_hpwl()
+
+        t = time.time()
+        if cfg.timing_weighting:
+            from repro.timing import apply_timing_net_weights
+
+            apply_timing_net_weights(
+                design,
+                strength=cfg.timing_weighting_strength,
+                max_weight=cfg.timing_weighting_max,
+            )
+        if cfg.net_weighting and design.routing is not None:
+            from repro.gp import CongestionInflator, apply_congestion_net_weights
+
+            estimator = CongestionInflator(design)
+            cmap = estimator.congestion_map(
+                design.pin_arrays(), *design.pull_centers()
+            )
+            apply_congestion_net_weights(
+                design,
+                cmap,
+                strength=cfg.net_weighting_strength,
+                max_weight=cfg.net_weighting_max,
+            )
+        legalize_macros(design, channel=cfg.macro_channel)
+        if cfg.refine_after_macro_legal and design.macro_mask().any():
+            refine_cfg = GPConfig(**vars(cfg.gp))
+            refine_cfg.freeze_macros = True
+            refine_cfg.clustering = False
+            refine_cfg.max_outer_iterations = cfg.refine_outer_iterations
+            GlobalPlacer(refine_cfg).place(design, warm_start=True)
+        result.stage_seconds["macro_legal_refine"] = time.time() - t
+
+        t = time.time()
+        legal_result = Legalizer(macro_channel=cfg.macro_channel).legalize(design)
+        result.stage_seconds["legalize"] = time.time() - t
+        result.legal_result = legal_result
+        result.hpwl_legal = scored_hpwl()
+
+        if cfg.run_dp:
+            t = time.time()
+            dp_report = DetailedPlacer(cfg.dp).run(design, legal_result.submap)
+            result.stage_seconds["detailed_place"] = time.time() - t
+            result.dp_report = dp_report
+
+        result.hpwl_final = scored_hpwl()
+        result.legal = legal_result.report.ok
+
+        if route and design.routing is not None:
+            t = time.time()
+            router = GlobalRouter(
+                design.routing,
+                sweeps=cfg.route_sweeps,
+                maze_rounds=cfg.route_maze_rounds,
+            )
+            rr = router.route(design)
+            result.stage_seconds["route"] = time.time() - t
+            result.route_result = rr
+            result.rc = rr.metrics.rc
+            result.total_overflow = rr.metrics.total_overflow
+            result.peak_congestion = rr.metrics.peak_congestion
+            result.scaled_hpwl = scaled_hpwl(result.hpwl_final, result.rc)
+        else:
+            result.scaled_hpwl = result.hpwl_final
+        return result
+
+
+def wirelength_driven_flow() -> NTUplace4H:
+    """The flow with all routability machinery disabled (baseline)."""
+    return NTUplace4H(FlowConfig.wirelength_only())

@@ -1,0 +1,47 @@
+"""An immutable 2-D point with the small vector algebra placement needs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point (or displacement vector) in the placement plane."""
+
+    x: float = 0.0
+    y: float = 0.0
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scale: float) -> "Point":
+        return Point(self.x * scale, self.y * scale)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def dot(self, other: "Point") -> float:
+        """Scalar product with ``other``."""
+        return self.x * other.x + self.y * other.y
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def manhattan(self, other: "Point") -> float:
+        """L1 distance to ``other`` — the natural routing distance."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def as_tuple(self) -> tuple:
+        return (self.x, self.y)

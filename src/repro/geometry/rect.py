@@ -1,0 +1,169 @@
+"""Axis-aligned rectangles: node outlines, fences, bins, routing tiles."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[xl, xh] x [yl, yh]``.
+
+    Degenerate rectangles (zero width or height) are permitted; they arise
+    naturally as the bounding box of a single pin.  Construction validates
+    that the bounds are ordered.
+    """
+
+    xl: float
+    yl: float
+    xh: float
+    yh: float
+
+    def __post_init__(self):
+        if self.xh < self.xl or self.yh < self.yl:
+            raise ValueError(
+                f"malformed rect: ({self.xl}, {self.yl}, {self.xh}, {self.yh})"
+            )
+
+    @staticmethod
+    def from_size(xl: float, yl: float, width: float, height: float) -> "Rect":
+        """Build a rect from its lower-left corner and dimensions."""
+        return Rect(xl, yl, xl + width, yl + height)
+
+    @staticmethod
+    def bounding(points) -> "Rect":
+        """Bounding box of an iterable of :class:`Point`.  Raises on empty."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("bounding box of no points")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def width(self) -> float:
+        return self.xh - self.xl
+
+    @property
+    def height(self) -> float:
+        return self.yh - self.yl
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xl + self.xh) / 2.0, (self.yl + self.yh) / 2.0)
+
+    @property
+    def ll(self) -> Point:
+        return Point(self.xl, self.yl)
+
+    @property
+    def ur(self) -> Point:
+        return Point(self.xh, self.yh)
+
+    def contains_point(self, p: Point, *, strict: bool = False) -> bool:
+        """Whether ``p`` lies inside (``strict`` excludes the boundary)."""
+        if strict:
+            return self.xl < p.x < self.xh and self.yl < p.y < self.yh
+        return self.xl <= p.x <= self.xh and self.yl <= p.y <= self.yh
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Whether ``other`` is entirely inside this rectangle."""
+        return (
+            self.xl <= other.xl
+            and self.yl <= other.yl
+            and other.xh <= self.xh
+            and other.yh <= self.yh
+        )
+
+    def intersects(self, other: "Rect", *, strict: bool = True) -> bool:
+        """Whether the rectangles overlap.
+
+        With ``strict`` (default) shared edges do not count as overlap —
+        the relevant notion for placement legality.
+        """
+        if strict:
+            return (
+                self.xl < other.xh
+                and other.xl < self.xh
+                and self.yl < other.yh
+                and other.yl < self.yh
+            )
+        return (
+            self.xl <= other.xh
+            and other.xl <= self.xh
+            and self.yl <= other.yh
+            and other.yl <= self.yh
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlap rectangle, or ``None`` when disjoint."""
+        xl = max(self.xl, other.xl)
+        yl = max(self.yl, other.yl)
+        xh = min(self.xh, other.xh)
+        yh = min(self.yh, other.yh)
+        if xh < xl or yh < yl:
+            return None
+        return Rect(xl, yl, xh, yh)
+
+    def overlap_area(self, other: "Rect") -> float:
+        """Area of the overlap with ``other`` (0 when disjoint)."""
+        w = min(self.xh, other.xh) - max(self.xl, other.xl)
+        h = min(self.yh, other.yh) - max(self.yl, other.yl)
+        if w <= 0.0 or h <= 0.0:
+            return 0.0
+        return w * h
+
+    def union(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both."""
+        return Rect(
+            min(self.xl, other.xl),
+            min(self.yl, other.yl),
+            max(self.xh, other.xh),
+            max(self.yh, other.yh),
+        )
+
+    def inflated(self, dx: float, dy: float | None = None) -> "Rect":
+        """Grow (or shrink, for negative amounts) each side."""
+        if dy is None:
+            dy = dx
+        return Rect(self.xl - dx, self.yl - dy, self.xh + dx, self.yh + dy)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.xl + dx, self.yl + dy, self.xh + dx, self.yh + dy)
+
+    def moved_to(self, x: float, y: float) -> "Rect":
+        """Same size, lower-left corner at ``(x, y)``."""
+        return Rect(x, y, x + self.width, y + self.height)
+
+    def clamp_point(self, p: Point) -> Point:
+        """Nearest point of the rectangle to ``p``."""
+        return Point(
+            min(max(p.x, self.xl), self.xh),
+            min(max(p.y, self.yl), self.yh),
+        )
+
+    def clamp_rect_origin(self, other: "Rect") -> Point:
+        """Lower-left position nearest ``other``'s that keeps it inside.
+
+        When ``other`` is larger than this rectangle along an axis the
+        result centres it on that axis instead.
+        """
+        if other.width <= self.width:
+            x = min(max(other.xl, self.xl), self.xh - other.width)
+        else:
+            x = self.center.x - other.width / 2.0
+        if other.height <= self.height:
+            y = min(max(other.yl, self.yl), self.yh - other.height)
+        else:
+            y = self.center.y - other.height / 2.0
+        return Point(x, y)
+
+    def half_perimeter(self) -> float:
+        """HPWL contribution of this rectangle as a net bounding box."""
+        return self.width + self.height

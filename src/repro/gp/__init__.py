@@ -1,0 +1,36 @@
+"""Routability-driven analytical global placement (the paper's core).
+
+``GlobalPlacer`` minimizes ``WL(x, y) + lambda * density(x, y)`` with a
+weighted-average wirelength model and a bell-shaped density potential,
+growing ``lambda`` until the placement is spread.  Routability enters
+through periodic congestion estimation and cell inflation; hierarchy
+enters through fence-region penalties and hierarchy-respecting
+clustering; mixed-size support through simultaneous macro placement and
+orientation optimization.
+"""
+
+from repro.gp.config import GPConfig
+from repro.gp.placer import GlobalPlacer, GPReport, IterationStats
+from repro.gp.initial import initial_placement
+from repro.gp.fence import FencePenalty, fence_violation, project_into_fences
+from repro.gp.inflation import CongestionInflator
+from repro.gp.orient import optimize_macro_orientations
+from repro.gp.clustering import ClusteredDesign, cluster_design
+from repro.gp.net_weighting import apply_congestion_net_weights, congestion_over_boxes
+
+__all__ = [
+    "ClusteredDesign",
+    "CongestionInflator",
+    "apply_congestion_net_weights",
+    "congestion_over_boxes",
+    "FencePenalty",
+    "GPConfig",
+    "GPReport",
+    "GlobalPlacer",
+    "IterationStats",
+    "cluster_design",
+    "fence_violation",
+    "initial_placement",
+    "optimize_macro_orientations",
+    "project_into_fences",
+]

@@ -1,0 +1,121 @@
+"""Congestion-driven cell inflation.
+
+The paper's routability lever: cells sitting in congested tiles have
+their *spreading* area (the area the density model uses — physical sizes
+are untouched) multiplied by a factor growing with local congestion, so
+the density penalty itself pushes logic out of routing hotspots and
+reserves whitespace for wires.
+
+Congestion is estimated without routing: RUDY wire demand plus a weighted
+pin-density term, divided by the tile's routing supply from the design's
+:class:`~repro.route.RoutingSpec`.  (The evaluation router is reserved
+for scoring; the in-loop estimate must be cheap.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.route.rudy import pin_density_map, rudy_map
+
+
+class CongestionInflator:
+    """Maintains per-node inflated areas across placement iterations."""
+
+    def __init__(
+        self,
+        design,
+        *,
+        exponent: float = 1.4,
+        max_inflation: float = 2.5,
+        total_max: float = 1.25,
+        threshold: float = 0.8,
+        pin_weight: float = 0.5,
+        wire_width: float = 1.0,
+        estimator: str = "rudy",
+    ):
+        if design.routing is None:
+            raise ValueError("congestion inflation requires design.routing")
+        if estimator not in ("rudy", "router"):
+            raise ValueError(f"unknown congestion estimator {estimator!r}")
+        self.design = design
+        self.spec = design.routing
+        self.exponent = exponent
+        self.max_inflation = max_inflation
+        self.total_max = total_max
+        self.threshold = threshold
+        self.pin_weight = pin_weight
+        self.wire_width = wire_width
+        self.estimator = estimator
+        w, h = design.placed_sizes()
+        self.base_areas = w * h
+        self.factors = np.ones(len(design.nodes))
+        grid = self.spec.grid
+        # Per-tile supply density: tracks crossing the tile per unit area.
+        self.supply = (
+            (self.spec.hcap * grid.bin_h + self.spec.vcap * grid.bin_w)
+            / grid.bin_area
+        )
+        # Average pin demand contribution, calibrated once per design.
+        self._pin_norm = None
+
+    def congestion_map(self, arrays, cx: np.ndarray, cy: np.ndarray) -> np.ndarray:
+        """Estimated demand/supply per routing tile.
+
+        With ``estimator="router"`` a fast pattern-only global route of
+        the current positions supplies the map (the paper's look-ahead
+        routing); the default RUDY estimate is cheaper and sufficient on
+        the bundled suite.
+        """
+        if self.estimator == "router":
+            return self._router_map(arrays, cx, cy)
+        grid = self.spec.grid
+        demand = rudy_map(arrays, cx, cy, grid, wire_width=self.wire_width)
+        pins = pin_density_map(arrays, cx, cy, grid)
+        if self._pin_norm is None:
+            mean_pin = float(pins.mean())
+            mean_demand = float(demand.mean())
+            self._pin_norm = (
+                mean_demand / mean_pin if mean_pin > 0 else 0.0
+            )
+        demand = demand + self.pin_weight * self._pin_norm * pins
+        with np.errstate(divide="ignore", invalid="ignore"):
+            cong = np.where(self.supply > 0, demand / np.maximum(self.supply, 1e-12), 0.0)
+        return cong
+
+    def _router_map(self, arrays, cx: np.ndarray, cy: np.ndarray) -> np.ndarray:
+        """Look-ahead routing: one pattern-only route, tile congestion."""
+        from repro.route.router import GlobalRouter
+
+        router = GlobalRouter(self.spec, sweeps=1, z_refine=False, maze_rounds=0)
+        result = router.route(arrays=arrays, cx=cx, cy=cy)
+        return result.congestion_map()
+
+    def update(self, arrays, cx: np.ndarray, cy: np.ndarray, movable_mask) -> np.ndarray:
+        """Recompute inflation factors; returns new spreading areas.
+
+        Factors are monotone non-decreasing across calls (the classic
+        ratchet that prevents oscillation), bounded per cell and in total.
+        """
+        grid = self.spec.grid
+        cong = self.congestion_map(arrays, cx, cy)
+        local = grid.bilinear_sample(cong, cx, cy)
+        over = np.maximum(local / self.threshold, 1.0)
+        new_factor = np.minimum(over**self.exponent, self.max_inflation)
+        self.factors = np.maximum(self.factors, np.where(movable_mask, new_factor, 1.0))
+        # Respect the whitespace budget: scale back excess uniformly.
+        base_total = float(self.base_areas[movable_mask].sum())
+        inflated_total = float(
+            (self.base_areas * self.factors)[movable_mask].sum()
+        )
+        budget = self.total_max * base_total
+        if inflated_total > budget and inflated_total > base_total:
+            # Shrink the inflation *excess* to fit the budget.
+            excess = self.factors - 1.0
+            scale = (budget - base_total) / (inflated_total - base_total)
+            self.factors = 1.0 + excess * max(0.0, scale)
+        return self.base_areas * self.factors
+
+    @property
+    def mean_inflation(self) -> float:
+        return float(self.factors.mean())

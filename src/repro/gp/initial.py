@@ -1,0 +1,91 @@
+"""Initial placement for global placement.
+
+Movable nodes start near the centroid of the fixed pins they connect to
+(terminals pull their logic toward the right edge of the die), falling
+back to the core centre, with a small deterministic jitter to break the
+symmetry the nonlinear objective cannot.  Fenced cells start inside their
+fence.  Macros are spread on a coarse grid so their density kernels do
+not stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db import Design, NodeKind
+
+
+def initial_placement(design: Design, seed: int = 7) -> None:
+    """Mutates ``design`` in place."""
+    rng = np.random.default_rng(seed)
+    core = design.core
+    center = core.center
+    jitter_x = 0.02 * core.width
+    jitter_y = 0.02 * core.height
+
+    # Centroid of fixed pins per node, one connectivity hop.
+    fixed_pull = {}
+    for net in design.nets:
+        fixed_positions = [
+            (design.nodes[p.node].cx, design.nodes[p.node].cy)
+            for p in net.pins
+            if not design.nodes[p.node].is_movable
+        ]
+        if not fixed_positions:
+            continue
+        fx = sum(p[0] for p in fixed_positions) / len(fixed_positions)
+        fy = sum(p[1] for p in fixed_positions) / len(fixed_positions)
+        for p in net.pins:
+            node = design.nodes[p.node]
+            if node.is_movable:
+                sx, sy, c = fixed_pull.get(p.node, (0.0, 0.0, 0))
+                fixed_pull[p.node] = (sx + fx, sy + fy, c + 1)
+
+    macros = [n for n in design.nodes if n.kind is NodeKind.MACRO]
+    _spread_macros(design, macros, rng)
+
+    for node in design.nodes:
+        if not node.is_movable or node.kind is NodeKind.MACRO:
+            continue
+        if node.index in fixed_pull:
+            sx, sy, c = fixed_pull[node.index]
+            # Blend toward the centre: fixed pins should bias, not pin.
+            tx = 0.5 * (sx / c) + 0.5 * center.x
+            ty = 0.5 * (sy / c) + 0.5 * center.y
+        else:
+            tx, ty = center.x, center.y
+        tx += float(rng.uniform(-jitter_x, jitter_x))
+        ty += float(rng.uniform(-jitter_y, jitter_y))
+        if node.region is not None:
+            region = design.regions[node.region]
+            p = region.clamp_point(type(center)(tx, ty))
+            tx, ty = p.x, p.y
+        node.move_center_to(tx, ty)
+        _clamp_into_core(node, core)
+
+
+def _spread_macros(design: Design, macros, rng) -> None:
+    """Distribute macros over a coarse grid away from fixed blockages."""
+    if not macros:
+        return
+    core = design.core
+    k = int(np.ceil(np.sqrt(len(macros))))
+    slots = []
+    for i in range(k):
+        for j in range(k):
+            slots.append(
+                (
+                    core.xl + (i + 0.5) * core.width / k,
+                    core.yl + (j + 0.5) * core.height / k,
+                )
+            )
+    order = rng.permutation(len(slots))
+    for node, s in zip(macros, order):
+        x, y = slots[int(s)]
+        node.move_center_to(x, y)
+        _clamp_into_core(node, core)
+
+
+def _clamp_into_core(node, core) -> None:
+    origin = core.clamp_rect_origin(node.rect)
+    node.x, node.y = origin.x, origin.y

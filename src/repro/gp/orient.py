@@ -1,0 +1,89 @@
+"""Macro orientation optimization.
+
+The unified mixed-size placement paper introduces *rotation* and
+*flipping* forces that steer each macro toward the orientation its net
+connections prefer.  This module implements the discrete equivalent used
+at the end of (and periodically during) global placement: for every
+movable macro, evaluate the exact HPWL of its incident nets under all
+eight orientations about its current centre and commit the best.  With
+macros' neighbours fixed, this *is* the optimum of the rotation force's
+objective, without the soft-force machinery.
+"""
+
+from __future__ import annotations
+
+from repro.db import Design, NodeKind
+from repro.geometry import Orientation, transform_offset
+
+
+def incident_nets(design: Design, node) -> list:
+    """Indices of nets touching ``node``."""
+    return sorted({pin.net for pin in node.pins})
+
+
+def _net_hpwl_with_orientation(design, net, macro_index, orient) -> float:
+    """HPWL of ``net`` if the macro took ``orient`` (about its centre)."""
+    macro = design.nodes[macro_index]
+    xs, ys = [], []
+    for pin in net.pins:
+        node = design.nodes[pin.node]
+        if pin.node == macro_index:
+            dx, dy = transform_offset(pin.dx, pin.dy, orient)
+        else:
+            dx, dy = transform_offset(pin.dx, pin.dy, node.orientation)
+        xs.append(node.cx + dx)
+        ys.append(node.cy + dy)
+    if not xs:
+        return 0.0
+    return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+
+def best_orientation(design: Design, node, candidates=None):
+    """The orientation minimizing incident HPWL and its cost.
+
+    Only 90-degree-compatible candidates are considered by default (all
+    eight orientations; square macros gain from every one, non-square
+    macros from rotations too since placement is still global/overlappy).
+    """
+    if candidates is None:
+        candidates = list(Orientation)
+    nets = incident_nets(design, node)
+    best = node.orientation
+    best_cost = float("inf")
+    for orient in candidates:
+        cost = sum(
+            design.nets[n].weight
+            * _net_hpwl_with_orientation(design, design.nets[n], node.index, orient)
+            for n in nets
+        )
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best = orient
+    return best, best_cost
+
+
+def optimize_macro_orientations(
+    design: Design, *, allow_rotation: bool = True, allow_flip: bool = True
+) -> int:
+    """One orientation pass over every movable macro.
+
+    Returns the number of macros whose orientation changed.  Rotations
+    swap the outline about the centre; the caller re-pulls positions
+    afterwards (pin caches invalidate automatically).
+    """
+    candidates = []
+    for orient in Orientation:
+        if not allow_rotation and orient.rotation != 0:
+            continue
+        if not allow_flip and orient.is_flipped:
+            continue
+        candidates.append(orient)
+    changed = 0
+    for node in design.nodes:
+        if node.kind is not NodeKind.MACRO:
+            continue
+        best, _ = best_orientation(design, node, candidates)
+        if best is not node.orientation:
+            design.set_orientation(node, best)
+            changed += 1
+    return changed

@@ -1,0 +1,392 @@
+"""The routability-driven analytical global placer (NTUplace4h core loop).
+
+Minimizes ``WL + lambda * density (+ mu * fence)`` by projected nonlinear
+conjugate gradient, doubling ``lambda`` each outer iteration until the
+density overflow target is met.  Routability-driven cell inflation and
+macro orientation passes interleave with the outer iterations; an
+optional hierarchy-aware clustering V-cycle accelerates large designs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.db import Design, NodeKind
+from repro.density import BellDensity
+from repro.gp.clustering import cluster_design
+from repro.gp.config import GPConfig
+from repro.gp.fence import FencePenalty, project_into_fences
+from repro.gp.inflation import CongestionInflator
+from repro.gp.initial import initial_placement
+from repro.gp.orient import optimize_macro_orientations
+from repro.grids import BinGrid
+from repro.optim import minimize_cg
+from repro.wirelength import hpwl as exact_hpwl
+from repro.wirelength import make_model
+
+
+@dataclass
+class IterationStats:
+    """One outer iteration of the GP loop (one row of the Fig-1 curves)."""
+
+    outer: int
+    hpwl: float
+    smooth_wl: float
+    density: float
+    overflow: float
+    lam: float
+    mean_inflation: float
+    fence: float = 0.0
+
+
+@dataclass
+class GPReport:
+    """Outcome of :meth:`GlobalPlacer.place`."""
+
+    iterations: list = field(default_factory=list)
+    final_hpwl: float = 0.0
+    final_overflow: float = 0.0
+    runtime_seconds: float = 0.0
+    coarse_iterations: list = field(default_factory=list)
+    orientation_changes: int = 0
+    fence_projected: int = 0
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)
+
+
+class GlobalPlacer:
+    """Analytical global placement over a :class:`~repro.db.Design`."""
+
+    def __init__(self, config: GPConfig | None = None):
+        self.config = config or GPConfig()
+
+    # ------------------------------------------------------------------
+    def place(self, design: Design, *, warm_start: bool = False) -> GPReport:
+        """Run global placement, mutating node positions in ``design``."""
+        cfg = self.config
+        t0 = time.time()
+        report = GPReport()
+        movable = design.movable_indices()
+        if len(movable) == 0:
+            report.runtime_seconds = time.time() - t0
+            return report
+
+        if not warm_start:
+            initial_placement(design, seed=cfg.seed)
+
+        if (
+            cfg.clustering
+            and cfg.cluster_max_levels > 0
+            and len(movable) >= cfg.cluster_min_nodes
+        ):
+            clustered = cluster_design(design, ratio=cfg.cluster_ratio)
+            coarse_cfg = self._coarse_config()
+            coarse_report = GlobalPlacer(coarse_cfg).place(clustered.coarse)
+            # Surface the deepest level's trajectory for inspection.
+            report.coarse_iterations = (
+                coarse_report.coarse_iterations or coarse_report.iterations
+            )
+            clustered.transfer_positions()
+
+        flat = self._place_flat(design, report, warm=bool(report.coarse_iterations) or warm_start)
+        report.final_hpwl = design.hpwl()
+        report.final_overflow = flat
+        report.runtime_seconds = time.time() - t0
+        return report
+
+    def _coarse_config(self) -> GPConfig:
+        cfg = self.config
+        coarse = GPConfig(**vars(cfg))
+        # Recurse while levels remain; each level halves the budget and
+        # relaxes the spreading target (fine levels do the precise work).
+        coarse.cluster_max_levels = cfg.cluster_max_levels - 1
+        coarse.max_outer_iterations = max(
+            4, int(cfg.max_outer_iterations * cfg.coarse_iteration_fraction)
+        )
+        coarse.optimize_orientations = cfg.optimize_orientations
+        coarse.overflow_target = max(cfg.overflow_target, 0.15)
+        return coarse
+
+    # ------------------------------------------------------------------
+    def _place_flat(self, design: Design, report: GPReport, warm: bool) -> float:
+        cfg = self.config
+        core = design.core
+        movable_mask = design.movable_mask()
+        if cfg.freeze_macros:
+            movable_mask &= ~design.macro_mask()
+        mov = np.flatnonzero(movable_mask)
+        m = len(mov)
+        if m == 0:
+            return self._overflow_design(design)
+
+        grid = self._density_grid(design, len(mov))
+        fixed_rects = [
+            (n.rect.xl, n.rect.yl, n.rect.xh, n.rect.yh)
+            for n in design.nodes
+            if n.kind.is_fixed and n.kind.blocks_placement
+        ]
+        if cfg.freeze_macros:
+            fixed_rects += [
+                (n.rect.xl, n.rect.yl, n.rect.xh, n.rect.yh)
+                for n in design.nodes
+                if n.kind is NodeKind.MACRO
+            ]
+
+        cx, cy = design.pull_centers()
+        widths, heights = design.placed_sizes()
+        target_scale = None
+        if cfg.routability and cfg.whitespace_reservation and design.routing is not None:
+            target_scale = self._reservation_scale(design, grid, cfg.reservation_floor)
+        density = BellDensity(
+            grid,
+            widths,
+            heights,
+            movable_mask,
+            fixed_rects=fixed_rects,
+            target_density=cfg.target_density,
+            target_scale=target_scale,
+        )
+        fence = FencePenalty(design)
+        inflator = None
+        if cfg.routability and design.routing is not None:
+            inflator = CongestionInflator(
+                design,
+                exponent=cfg.inflation_exponent,
+                max_inflation=cfg.inflation_max,
+                total_max=cfg.inflation_total_max,
+                threshold=cfg.congestion_threshold,
+                estimator=cfg.congestion_estimator,
+            )
+
+        gamma = cfg.gamma_factor * max(grid.bin_w, grid.bin_h)
+        arrays = design.pin_arrays()
+        wl_model = make_model(cfg.wirelength_model, arrays, len(design.nodes), gamma)
+
+        # Bounds for the projection (centre coordinates).
+        half_w = widths[mov] / 2.0
+        half_h = heights[mov] / 2.0
+        lo_x = core.xl + half_w
+        hi_x = np.maximum(core.xh - half_w, lo_x)
+        lo_y = core.yl + half_h
+        hi_y = np.maximum(core.yh - half_h, lo_y)
+
+        state = {"lam": None, "mu": None}
+
+        def pack() -> np.ndarray:
+            return np.concatenate([cx[mov], cy[mov]])
+
+        def unpack(v: np.ndarray) -> None:
+            cx[mov] = v[:m]
+            cy[mov] = v[m:]
+
+        def project(v: np.ndarray) -> np.ndarray:
+            out = v.copy()
+            out[:m] = np.clip(out[:m], lo_x, hi_x)
+            out[m:] = np.clip(out[m:], lo_y, hi_y)
+            return out
+
+        def objective(v: np.ndarray):
+            unpack(v)
+            wl_v, wl_gx, wl_gy = wl_model.value_grad(cx, cy)
+            d_v, d_gx, d_gy = density.value_grad(cx, cy)
+            f = wl_v + state["lam"] * d_v
+            gx = wl_gx + state["lam"] * d_gx
+            gy = wl_gy + state["lam"] * d_gy
+            if fence.active:
+                f_v, f_gx, f_gy = fence.value_grad(cx, cy)
+                f += state["mu"] * f_v
+                gx += state["mu"] * f_gx
+                gy += state["mu"] * f_gy
+            return f, np.concatenate([gx[mov], gy[mov]])
+
+        # -- initialize the penalty weights from the gradient balance.
+        _, wl_gx, wl_gy = wl_model.value_grad(cx, cy)
+        _, d_gx, d_gy = density.value_grad(cx, cy)
+        wl_norm = float(np.abs(wl_gx[mov]).sum() + np.abs(wl_gy[mov]).sum())
+        d_norm = float(np.abs(d_gx[mov]).sum() + np.abs(d_gy[mov]).sum())
+        state["lam"] = cfg.lambda_initial_ratio * wl_norm / max(d_norm, 1e-12)
+        if fence.active:
+            _, f_gx, f_gy = fence.value_grad(cx, cy)
+            f_norm = float(np.abs(f_gx[mov]).sum() + np.abs(f_gy[mov]).sum())
+            # When every fenced cell already sits inside its region the
+            # fence gradient vanishes; floor the normalizer at the
+            # gradient a one-bin displacement of all fenced cells would
+            # produce, so mu stays finite and the penalty merely *keeps*
+            # cells in rather than walling off the line search.
+            n_fenced = sum(
+                1 for n in design.nodes if n.region is not None and n.is_movable
+            )
+            floor = 2.0 * max(grid.bin_w, grid.bin_h) * max(n_fenced, 1)
+            state["mu"] = cfg.fence_weight_initial_ratio * wl_norm / max(f_norm, floor)
+        else:
+            state["mu"] = 0.0
+
+        step_init = cfg.step_init_bins * max(grid.bin_w, grid.bin_h)
+        step_max = cfg.step_max_bins * max(grid.bin_w, grid.bin_h)
+        overflow = self._overflow(design, density, cx, cy, widths, heights, mov)
+        v = project(pack())
+        unpack(v)
+
+        for outer in range(cfg.max_outer_iterations):
+            if (
+                inflator is not None
+                and overflow <= cfg.inflation_start_overflow
+                and outer % cfg.inflation_interval == 0
+            ):
+                areas = inflator.update(arrays, cx, cy, movable_mask)
+                density.set_areas(areas)
+            if (
+                cfg.optimize_orientations
+                and not cfg.freeze_macros
+                and outer > 0
+                and outer % cfg.orientation_interval == 0
+            ):
+                changed = self._orientation_pass(design, cx, cy)
+                report.orientation_changes += changed
+                if changed:
+                    arrays = design.pin_arrays()
+                    wl_model = make_model(
+                        cfg.wirelength_model, arrays, len(design.nodes), wl_model.gamma
+                    )
+
+            result = minimize_cg(
+                objective,
+                v,
+                max_iter=cfg.inner_iterations,
+                step_init=step_init,
+                step_max=step_max,
+                project=project,
+            )
+            v = result.x
+            unpack(v)
+            overflow = self._overflow(design, density, cx, cy, widths, heights, mov)
+            wl_exact = exact_hpwl(arrays, cx, cy)
+            stats = IterationStats(
+                outer=outer,
+                hpwl=wl_exact,
+                smooth_wl=wl_model.value(cx, cy),
+                density=density.value(cx, cy),
+                overflow=overflow,
+                lam=state["lam"],
+                mean_inflation=inflator.mean_inflation if inflator else 1.0,
+                fence=fence.value(cx, cy) if fence.active else 0.0,
+            )
+            report.iterations.append(stats)
+            if self.config.verbose:
+                print(
+                    f"[gp {design.name}] outer={outer:3d} hpwl={wl_exact:12.1f} "
+                    f"ovfl={overflow:6.3f} lam={state['lam']:9.2e}"
+                )
+            if overflow <= cfg.overflow_target:
+                break
+            state["lam"] *= cfg.lambda_growth
+            if fence.active:
+                state["mu"] *= cfg.fence_weight_growth
+            if cfg.gamma_decay < 1.0:
+                wl_model.gamma = max(
+                    wl_model.gamma * cfg.gamma_decay, 0.5 * min(grid.bin_w, grid.bin_h)
+                )
+
+        design.push_centers(cx, cy, indices=mov)
+        if cfg.optimize_orientations and not cfg.freeze_macros:
+            report.orientation_changes += optimize_macro_orientations(design)
+        report.fence_projected = project_into_fences(design)
+        return overflow
+
+    @staticmethod
+    def _overflow_design(design: Design) -> float:
+        from repro.density import density_overflow
+
+        return density_overflow(design)
+
+    # ------------------------------------------------------------------
+    def _orientation_pass(self, design: Design, cx, cy) -> int:
+        """Run an orientation pass at the current (array) positions."""
+        design.push_centers(cx, cy)
+        changed = optimize_macro_orientations(design)
+        if changed:
+            ncx, ncy = design.pull_centers()
+            cx[:] = ncx
+            cy[:] = ncy
+        return changed
+
+    @staticmethod
+    def _reservation_scale(design: Design, grid: BinGrid, floor: float) -> np.ndarray:
+        """Per-density-bin target scale from relative routing supply.
+
+        Bins whose local track supply falls below the die's typical
+        supply get proportionally smaller density targets (never below
+        ``floor``), reserving whitespace for wires over starved regions —
+        the whitespace-reservation mechanism of the paper's stage 1.
+        """
+        spec = design.routing
+        rgrid = spec.grid
+        supply = (spec.hcap * rgrid.bin_h + spec.vcap * rgrid.bin_w) / rgrid.bin_area
+        median = float(np.median(supply)) if supply.size else 1.0
+        if median <= 0:
+            return np.ones((grid.nx, grid.ny))
+        bx = grid.centers_x()
+        by = grid.centers_y()
+        xx, yy = np.meshgrid(bx, by, indexing="ij")
+        local = rgrid.bilinear_sample(supply, xx.ravel(), yy.ravel()).reshape(
+            grid.nx, grid.ny
+        )
+        # Only clearly starved bins (below 80% of typical supply) give up
+        # target capacity; ordinary supply variation is left alone so the
+        # reservation does not tax wirelength die-wide.
+        scale = np.clip(local / (0.8 * median), floor, 1.0)
+        # Feasibility guard: the scaled free space must still hold every
+        # movable object with slack, or the density target becomes
+        # unsatisfiable and the outer loop can never converge.
+        movable = design.movable_area()
+        core_area = design.core.area
+        fixed = design.fixed_area_in_core()
+        free_total = max(core_area - fixed, 1e-12)
+        scaled_total = float(scale.mean()) * free_total
+        need = 1.1 * movable
+        if scaled_total < need and scaled_total > 0:
+            # Blend back toward 1 just enough to restore slack.
+            deficit = (need - scaled_total) / max(free_total - scaled_total, 1e-12)
+            blend = min(1.0, deficit)
+            scale = scale + blend * (1.0 - scale)
+        return scale
+
+    def _density_grid(self, design: Design, num_movable: int) -> BinGrid:
+        cfg = self.config
+        if cfg.target_bins is not None:
+            bins = cfg.target_bins
+        else:
+            # ~ sqrt(n) bins per axis, clamped to a practical range.
+            per_axis = int(np.sqrt(max(num_movable, 1)))
+            per_axis = max(16, min(per_axis, 96))
+            bins = per_axis * per_axis
+        return BinGrid.with_bin_target(design.core, bins)
+
+    @staticmethod
+    def _overflow(design, density: BellDensity, cx, cy, widths, heights, mov) -> float:
+        """Exact-overlap density overflow at the current array positions.
+
+        Uses physical (non-inflated) areas against the free capacity of
+        the density grid.
+        """
+        grid = density.grid
+        xl = cx[mov] - widths[mov] / 2.0
+        xh = cx[mov] + widths[mov] / 2.0
+        yl = cy[mov] - heights[mov] / 2.0
+        yh = cy[mov] + heights[mov] / 2.0
+        usage = grid.rasterize_rects(xl, yl, xh, yh)
+        total = float((widths[mov] * heights[mov]).sum())
+        if total <= 0:
+            return 0.0
+        over = np.maximum(usage - density.free, 0.0)
+        return float(over.sum() / total)
+
+
+def place(design: Design, config: GPConfig | None = None) -> GPReport:
+    """Convenience function: global-place ``design`` with ``config``."""
+    return GlobalPlacer(config).place(design)

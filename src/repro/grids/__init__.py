@@ -1,0 +1,5 @@
+"""Uniform bin grids used for density, congestion and routing maps."""
+
+from repro.grids.bins import BinGrid
+
+__all__ = ["BinGrid"]

@@ -1,0 +1,186 @@
+"""A uniform rectangular grid over a region of the die.
+
+The same structure backs density bins in global placement, RUDY maps, and
+the tiles of the evaluation global router.  All maps are ``(nx, ny)``
+float64 arrays indexed ``[ix, iy]`` with ``ix`` horizontal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry import Rect
+
+
+class BinGrid:
+    """An ``nx`` x ``ny`` uniform grid covering ``area``."""
+
+    def __init__(self, area: Rect, nx: int, ny: int):
+        if nx <= 0 or ny <= 0:
+            raise ValueError("grid dimensions must be positive")
+        if area.width <= 0 or area.height <= 0:
+            raise ValueError("grid area must have positive extent")
+        self.area = area
+        self.nx = int(nx)
+        self.ny = int(ny)
+        self.bin_w = area.width / nx
+        self.bin_h = area.height / ny
+
+    @staticmethod
+    def with_bin_target(area: Rect, target_bins: int) -> "BinGrid":
+        """A roughly square grid with about ``target_bins`` bins."""
+        aspect = area.width / area.height
+        nx = max(1, int(round(np.sqrt(target_bins * aspect))))
+        ny = max(1, int(round(target_bins / nx)))
+        return BinGrid(area, nx, ny)
+
+    @property
+    def num_bins(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def bin_area(self) -> float:
+        return self.bin_w * self.bin_h
+
+    def zeros(self) -> np.ndarray:
+        return np.zeros((self.nx, self.ny))
+
+    # ------------------------------------------------------------------
+    # coordinate mapping
+    # ------------------------------------------------------------------
+    def index_of(self, x, y):
+        """Bin indices containing point(s) ``(x, y)``, clamped to the grid."""
+        ix = np.clip(
+            np.floor((np.asarray(x) - self.area.xl) / self.bin_w).astype(np.int64),
+            0,
+            self.nx - 1,
+        )
+        iy = np.clip(
+            np.floor((np.asarray(y) - self.area.yl) / self.bin_h).astype(np.int64),
+            0,
+            self.ny - 1,
+        )
+        return ix, iy
+
+    def bin_rect(self, ix: int, iy: int) -> Rect:
+        xl = self.area.xl + ix * self.bin_w
+        yl = self.area.yl + iy * self.bin_h
+        return Rect(xl, yl, xl + self.bin_w, yl + self.bin_h)
+
+    def centers_x(self) -> np.ndarray:
+        """x coordinate of each column's bin centres, shape ``(nx,)``."""
+        return self.area.xl + (np.arange(self.nx) + 0.5) * self.bin_w
+
+    def centers_y(self) -> np.ndarray:
+        """y coordinate of each row's bin centres, shape ``(ny,)``."""
+        return self.area.yl + (np.arange(self.ny) + 0.5) * self.bin_h
+
+    # ------------------------------------------------------------------
+    # rasterization
+    # ------------------------------------------------------------------
+    def add_rect(self, grid: np.ndarray, rect: Rect, value: float = 1.0) -> None:
+        """Accumulate ``value`` x (overlap area) of ``rect`` into ``grid``.
+
+        The contribution to each bin is the exact geometric overlap, so
+        integrating ``grid`` recovers ``value * rect.area`` (clipped to the
+        grid region).
+        """
+        xl = max(rect.xl, self.area.xl)
+        yl = max(rect.yl, self.area.yl)
+        xh = min(rect.xh, self.area.xh)
+        yh = min(rect.yh, self.area.yh)
+        if xh <= xl or yh <= yl:
+            return
+        ix0 = int((xl - self.area.xl) / self.bin_w)
+        iy0 = int((yl - self.area.yl) / self.bin_h)
+        ix1 = min(self.nx - 1, int(np.ceil((xh - self.area.xl) / self.bin_w)) - 1)
+        iy1 = min(self.ny - 1, int(np.ceil((yh - self.area.yl) / self.bin_h)) - 1)
+        ix0 = min(ix0, self.nx - 1)
+        iy0 = min(iy0, self.ny - 1)
+        # Per-column and per-row clipped extents, combined by outer product.
+        cols = np.arange(ix0, ix1 + 1)
+        rows = np.arange(iy0, iy1 + 1)
+        col_lo = self.area.xl + cols * self.bin_w
+        row_lo = self.area.yl + rows * self.bin_h
+        wx = np.minimum(col_lo + self.bin_w, xh) - np.maximum(col_lo, xl)
+        wy = np.minimum(row_lo + self.bin_h, yh) - np.maximum(row_lo, yl)
+        grid[ix0 : ix1 + 1, iy0 : iy1 + 1] += value * np.outer(
+            np.maximum(wx, 0.0), np.maximum(wy, 0.0)
+        )
+
+    def rasterize_rects(self, xl, yl, xh, yh, values=None) -> np.ndarray:
+        """Exact-overlap rasterization of many rectangles, vectorized.
+
+        Rectangle ``i`` contributes ``values[i] * overlap_area`` to each
+        bin it touches (``values`` default 1, i.e. pure area — the same
+        semantics as :meth:`add_rect`).  The sweep is over the maximum bin
+        span of any rectangle, so it is fast when most rectangles are
+        small (standard cells) even if a few are large.
+        """
+        xl = np.asarray(xl, dtype=float)
+        yl = np.asarray(yl, dtype=float)
+        xh = np.asarray(xh, dtype=float)
+        yh = np.asarray(yh, dtype=float)
+        vals = np.ones_like(xl) if values is None else np.asarray(values, dtype=float)
+        grid = self.zeros()
+        if len(xl) == 0:
+            return grid
+        cxl = np.clip(xl, self.area.xl, self.area.xh)
+        cyl = np.clip(yl, self.area.yl, self.area.yh)
+        cxh = np.clip(xh, self.area.xl, self.area.xh)
+        cyh = np.clip(yh, self.area.yl, self.area.yh)
+        areas = (cxh - cxl) * (cyh - cyl)
+        keep = areas > 0
+        if not keep.any():
+            return grid
+        cxl, cyl, cxh, cyh, dens = (
+            cxl[keep],
+            cyl[keep],
+            cxh[keep],
+            cyh[keep],
+            vals[keep],
+        )
+        ix0 = np.floor((cxl - self.area.xl) / self.bin_w).astype(np.int64)
+        iy0 = np.floor((cyl - self.area.yl) / self.bin_h).astype(np.int64)
+        ix0 = np.clip(ix0, 0, self.nx - 1)
+        iy0 = np.clip(iy0, 0, self.ny - 1)
+        span_x = int(np.max(np.ceil((cxh - self.area.xl) / self.bin_w) - ix0)) + 1
+        span_y = int(np.max(np.ceil((cyh - self.area.yl) / self.bin_h) - iy0)) + 1
+        span_x = max(1, min(span_x, self.nx + 1))
+        span_y = max(1, min(span_y, self.ny + 1))
+        for kx in range(span_x):
+            ix = ix0 + kx
+            in_x = ix < self.nx
+            bxl = self.area.xl + ix * self.bin_w
+            wx = np.minimum(bxl + self.bin_w, cxh) - np.maximum(bxl, cxl)
+            wx = np.maximum(wx, 0.0)
+            for ky in range(span_y):
+                iy = iy0 + ky
+                in_y = iy < self.ny
+                byl = self.area.yl + iy * self.bin_h
+                wy = np.minimum(byl + self.bin_h, cyh) - np.maximum(byl, cyl)
+                wy = np.maximum(wy, 0.0)
+                mass = dens * wx * wy
+                ok = in_x & in_y & (mass > 0)
+                if ok.any():
+                    np.add.at(grid, (ix[ok], iy[ok]), mass[ok])
+        return grid
+
+    def bilinear_sample(self, grid: np.ndarray, x, y):
+        """Bilinear interpolation of ``grid`` (values at bin centres)."""
+        fx = (np.asarray(x) - self.area.xl) / self.bin_w - 0.5
+        fy = (np.asarray(y) - self.area.yl) / self.bin_h - 0.5
+        fx = np.clip(fx, 0.0, self.nx - 1.0)
+        fy = np.clip(fy, 0.0, self.ny - 1.0)
+        ix = np.minimum(fx.astype(np.int64), self.nx - 2) if self.nx > 1 else np.zeros_like(fx, dtype=np.int64)
+        iy = np.minimum(fy.astype(np.int64), self.ny - 2) if self.ny > 1 else np.zeros_like(fy, dtype=np.int64)
+        tx = fx - ix
+        ty = fy - iy
+        ix1 = np.minimum(ix + 1, self.nx - 1)
+        iy1 = np.minimum(iy + 1, self.ny - 1)
+        return (
+            grid[ix, iy] * (1 - tx) * (1 - ty)
+            + grid[ix1, iy] * tx * (1 - ty)
+            + grid[ix, iy1] * (1 - tx) * ty
+            + grid[ix1, iy1] * tx * ty
+        )

@@ -1,0 +1,242 @@
+"""Bookshelf reader."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.db import Design, Net, Node, NodeKind, Pin, PinDirection, Region, Row
+from repro.geometry import Orientation, Rect
+from repro.grids import BinGrid
+from repro.route import RoutingSpec
+
+
+def read_aux(path: str) -> dict:
+    """Parse an ``.aux`` file into ``{extension: absolute path}``."""
+    directory = os.path.dirname(os.path.abspath(path))
+    with open(path) as f:
+        content = f.read()
+    _, _, files = content.partition(":")
+    out = {}
+    for token in files.split():
+        ext = token.rsplit(".", 1)[-1].lower()
+        out[ext] = os.path.join(directory, token)
+    return out
+
+
+def read_bookshelf(aux_path: str, name: str | None = None) -> Design:
+    """Load a full Bookshelf benchmark from its ``.aux`` file."""
+    files = read_aux(aux_path)
+    if name is None:
+        name = os.path.splitext(os.path.basename(aux_path))[0]
+    design = Design(name)
+    _read_nodes(design, files["nodes"])
+    if "hier" in files:
+        _read_hier(design, files["hier"])
+    weights = _read_wts(files["wts"]) if "wts" in files else {}
+    _read_nets(design, files["nets"], weights)
+    _read_scl(design, files["scl"])
+    # Bookshelf has no explicit movable-macro marker; the accepted
+    # convention is that a movable node taller than a row is a macro.
+    if design.rows:
+        row_h = design.row_height
+        for node in design.nodes:
+            if node.kind is NodeKind.CELL and node.height > 1.5 * row_h:
+                node.kind = NodeKind.MACRO
+    if "pl" in files:
+        _read_pl(design, files["pl"])
+    if "route" in files:
+        design.routing = _read_route(files["route"])
+    if "regions" in files:
+        _read_regions(design, files["regions"])
+    return design
+
+
+def _data_lines(path: str):
+    with open(path) as f:
+        for raw in f:
+            line = raw.split("#", 1)[0].strip()
+            if not line or line.startswith("UCLA"):
+                continue
+            yield line
+
+
+def _read_nodes(design: Design, path: str) -> None:
+    for line in _data_lines(path):
+        if line.startswith(("NumNodes", "NumTerminals")):
+            continue
+        parts = line.split()
+        nm, w, h = parts[0], float(parts[1]), float(parts[2])
+        kind = NodeKind.CELL
+        if len(parts) > 3:
+            tag = parts[3].lower()
+            if tag == "terminal":
+                kind = NodeKind.FIXED
+            elif tag == "terminal_ni":
+                kind = NodeKind.TERMINAL_NI
+        design.add_node(Node(name=nm, width=w, height=h, kind=kind))
+
+
+def _read_hier(design: Design, path: str) -> None:
+    for line in _data_lines(path):
+        if line.startswith("hier"):
+            continue
+        nm, module = line.split()
+        node = design.node(nm)
+        node.module = module
+        design.hierarchy.assign_cell(node.index, module)
+
+
+def _read_wts(path: str) -> dict:
+    out = {}
+    for line in _data_lines(path):
+        parts = line.split()
+        if len(parts) == 2:
+            out[parts[0]] = float(parts[1])
+    return out
+
+
+def _read_nets(design: Design, path: str, weights: dict) -> None:
+    net = None
+    for line in _data_lines(path):
+        if line.startswith(("NumNets", "NumPins")):
+            continue
+        if line.startswith("NetDegree"):
+            if net is not None:
+                design.add_net(net)
+            _, _, rest = line.partition(":")
+            parts = rest.split()
+            net_name = parts[1] if len(parts) > 1 else f"net{design.num_nets}"
+            net = Net(name=net_name, weight=weights.get(net_name, 1.0))
+            continue
+        if net is None:
+            raise ValueError(f"pin line before NetDegree in {path}: {line!r}")
+        parts = line.replace(":", " ").split()
+        node = design.node(parts[0])
+        direction = PinDirection.from_string(parts[1]) if len(parts) > 1 else PinDirection.BIDIR
+        dx = float(parts[2]) if len(parts) > 2 else 0.0
+        dy = float(parts[3]) if len(parts) > 3 else 0.0
+        net.pins.append(Pin(node=node.index, dx=dx, dy=dy, direction=direction))
+    if net is not None:
+        design.add_net(net)
+
+
+def _read_scl(design: Design, path: str) -> None:
+    current = {}
+    for line in _data_lines(path):
+        if line.startswith("NumRows"):
+            continue
+        if line.startswith("CoreRow"):
+            current = {}
+            continue
+        if line.startswith("End"):
+            design.add_row(
+                Row(
+                    y=current["coordinate"],
+                    height=current["height"],
+                    site_width=current.get("sitewidth", 1.0),
+                    x_min=current["subroworigin"],
+                    num_sites=int(current["numsites"]),
+                )
+            )
+            continue
+        # "Key : value" pairs; SubrowOrigin lines carry two pairs.
+        tokens = line.replace(":", " : ").split()
+        k = 0
+        while k + 2 < len(tokens) or (k + 2 == len(tokens) and tokens[k + 1] == ":"):
+            if k + 2 >= len(tokens):
+                break
+            key = tokens[k].lower()
+            value = tokens[k + 2]
+            try:
+                current[key] = float(value)
+            except ValueError:
+                current[key] = value
+            k += 3
+    design.core = design.core  # force row-derived core computation check
+
+
+def _read_pl(design: Design, path: str) -> None:
+    for line in _data_lines(path):
+        parts = line.replace(":", " ").split()
+        if len(parts) < 3:
+            continue
+        node = design.node(parts[0])
+        node.x = float(parts[1])
+        node.y = float(parts[2])
+        if len(parts) > 3:
+            node.orientation = Orientation.from_string(parts[3])
+
+
+def _read_route(path: str):
+    grid_dims = None
+    origin = (0.0, 0.0)
+    tile = (1.0, 1.0)
+    hcap = vcap = 0.0
+    adjustments = []
+    in_adjust = False
+    for line in _data_lines(path):
+        if line.startswith("route"):
+            continue
+        if in_adjust:
+            i, j, h, v = line.split()
+            adjustments.append((int(i), int(j), float(h), float(v)))
+            continue
+        key, _, rest = line.partition(":")
+        key = key.strip().lower()
+        vals = rest.split()
+        if key == "grid":
+            grid_dims = (int(vals[0]), int(vals[1]))
+        elif key == "gridorigin":
+            origin = (float(vals[0]), float(vals[1]))
+        elif key == "tilesize":
+            tile = (float(vals[0]), float(vals[1]))
+        elif key == "horizontalcapacity":
+            hcap = sum(float(v) for v in vals)
+        elif key == "verticalcapacity":
+            vcap = sum(float(v) for v in vals)
+        elif key == "numcapacityadjustments":
+            in_adjust = int(vals[0]) > 0
+    if grid_dims is None:
+        raise ValueError(f"no Grid line in {path}")
+    nx, ny = grid_dims
+    area = Rect(
+        origin[0], origin[1], origin[0] + nx * tile[0], origin[1] + ny * tile[1]
+    )
+    spec = RoutingSpec(
+        BinGrid(area, nx, ny),
+        np.full((nx, ny), hcap),
+        np.full((nx, ny), vcap),
+    )
+    for i, j, h, v in adjustments:
+        spec.hcap[i, j] = h
+        spec.vcap[i, j] = v
+    return spec
+
+
+def _read_regions(design: Design, path: str) -> None:
+    lines = list(_data_lines(path))
+    k = 0
+    regions_by_name = {}
+    while k < len(lines):
+        line = lines[k]
+        if line.startswith(("regions", "NumRegions", "NumMembers")):
+            k += 1
+            continue
+        if line.startswith("Region"):
+            _, name, count = line.split()
+            rects = []
+            for r in range(int(count)):
+                k += 1
+                xl, yl, xh, yh = (float(v) for v in lines[k].split())
+                rects.append(Rect(xl, yl, xh, yh))
+            region = design.add_region(Region(name=name, rects=rects))
+            regions_by_name[name] = region
+            k += 1
+            continue
+        parts = line.split()
+        if len(parts) == 2 and parts[0] != "Region":
+            node = design.node(parts[0])
+            node.region = regions_by_name[parts[1]].index
+        k += 1

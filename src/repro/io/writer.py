@@ -1,0 +1,178 @@
+"""Bookshelf writer."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.db import Design, NodeKind
+
+
+def write_bookshelf(design: Design, directory: str, basename: str | None = None) -> str:
+    """Write ``design`` as a Bookshelf benchmark; returns the .aux path."""
+    base = basename or design.name
+    os.makedirs(directory, exist_ok=True)
+
+    def path(ext: str) -> str:
+        return os.path.join(directory, f"{base}.{ext}")
+
+    _write_nodes(design, path("nodes"))
+    _write_nets(design, path("nets"))
+    _write_wts(design, path("wts"))
+    _write_pl(design, path("pl"))
+    _write_scl(design, path("scl"))
+    files = [f"{base}.nodes", f"{base}.nets", f"{base}.wts", f"{base}.pl", f"{base}.scl"]
+    if design.routing is not None:
+        _write_route(design, path("route"))
+        files.append(f"{base}.route")
+    if design.regions:
+        _write_regions(design, path("regions"))
+        files.append(f"{base}.regions")
+    if any(n.module for n in design.nodes):
+        _write_hier(design, path("hier"))
+        files.append(f"{base}.hier")
+    aux = path("aux")
+    with open(aux, "w") as f:
+        f.write("RowBasedPlacement : " + " ".join(files) + "\n")
+    return aux
+
+
+def _write_nodes(design: Design, path: str) -> None:
+    terminals = sum(1 for n in design.nodes if n.kind.is_fixed)
+    with open(path, "w") as f:
+        f.write("UCLA nodes 1.0\n\n")
+        f.write(f"NumNodes : {len(design.nodes)}\n")
+        f.write(f"NumTerminals : {terminals}\n")
+        for n in design.nodes:
+            tag = ""
+            if n.kind is NodeKind.TERMINAL_NI:
+                tag = " terminal_NI"
+            elif n.kind.is_fixed:
+                tag = " terminal"
+            f.write(f"   {n.name} {n.width:g} {n.height:g}{tag}\n")
+
+
+def _write_nets(design: Design, path: str) -> None:
+    with open(path, "w") as f:
+        f.write("UCLA nets 1.0\n\n")
+        f.write(f"NumNets : {len(design.nets)}\n")
+        f.write(f"NumPins : {design.num_pins}\n")
+        for net in design.nets:
+            f.write(f"NetDegree : {net.degree}  {net.name}\n")
+            for p in net.pins:
+                node = design.nodes[p.node]
+                f.write(
+                    f"   {node.name} {p.direction.value} : "
+                    f"{p.dx:.6g} {p.dy:.6g}\n"
+                )
+
+
+def _write_wts(design: Design, path: str) -> None:
+    with open(path, "w") as f:
+        f.write("UCLA wts 1.0\n\n")
+        for net in design.nets:
+            f.write(f"   {net.name} {net.weight:g}\n")
+
+
+def _write_pl(design: Design, path: str) -> None:
+    with open(path, "w") as f:
+        f.write("UCLA pl 1.0\n\n")
+        for n in design.nodes:
+            suffix = ""
+            if n.kind is NodeKind.TERMINAL_NI:
+                suffix = " /FIXED_NI"
+            elif n.kind.is_fixed:
+                suffix = " /FIXED"
+            f.write(
+                f"{n.name} {n.x:.6f} {n.y:.6f} : {n.orientation.value}{suffix}\n"
+            )
+
+
+def _write_scl(design: Design, path: str) -> None:
+    with open(path, "w") as f:
+        f.write("UCLA scl 1.0\n\n")
+        f.write(f"NumRows : {len(design.rows)}\n\n")
+        for row in design.rows:
+            f.write("CoreRow Horizontal\n")
+            f.write(f"  Coordinate    : {row.y:.6f}\n")
+            f.write(f"  Height        : {row.height:g}\n")
+            f.write(f"  Sitewidth     : {row.site_width:g}\n")
+            f.write(f"  Sitespacing   : {row.site_width:g}\n")
+            f.write("  Siteorient    : N\n")
+            f.write("  Sitesymmetry  : Y\n")
+            f.write(
+                f"  SubrowOrigin  : {row.x_min:.6f}  NumSites : {row.num_sites}\n"
+            )
+            f.write("End\n")
+
+
+def _write_route(design: Design, path: str) -> None:
+    spec = design.routing
+    grid = spec.grid
+    with open(path, "w") as f:
+        f.write("route 1.0\n\n")
+        num_layers = max(1, len(spec.layers))
+        f.write(f"Grid : {grid.nx} {grid.ny} {num_layers}\n")
+        f.write(f"GridOrigin : {grid.area.xl:.6f} {grid.area.yl:.6f}\n")
+        f.write(f"TileSize : {grid.bin_w:.6f} {grid.bin_h:.6f}\n")
+        # Uniform part = per-axis maxima; deviations follow as adjustments.
+        h_base = float(spec.hcap.max()) if spec.hcap.size else 0.0
+        v_base = float(spec.vcap.max()) if spec.vcap.size else 0.0
+        if spec.layers:
+            # Per-layer breakdown, scaled so the listed layers sum to the
+            # aggregate maxima (the reader sums multi-valued lines back).
+            h_layers = [l.capacity for l in spec.layers if l.direction == "H"]
+            v_layers = [l.capacity for l in spec.layers if l.direction == "V"]
+            h_scale = h_base / sum(h_layers) if sum(h_layers) > 0 else 0.0
+            v_scale = v_base / sum(v_layers) if sum(v_layers) > 0 else 0.0
+            f.write(
+                "HorizontalCapacity : "
+                + " ".join(f"{c * h_scale:.6f}" for c in h_layers)
+                + "\n"
+            )
+            f.write(
+                "VerticalCapacity : "
+                + " ".join(f"{c * v_scale:.6f}" for c in v_layers)
+                + "\n"
+            )
+        else:
+            f.write(f"HorizontalCapacity : {h_base:.6f}\n")
+            f.write(f"VerticalCapacity : {v_base:.6f}\n")
+        adjust = []
+        for i in range(grid.nx):
+            for j in range(grid.ny):
+                if not np.isclose(spec.hcap[i, j], h_base) or not np.isclose(
+                    spec.vcap[i, j], v_base
+                ):
+                    adjust.append(
+                        f"   {i} {j} {spec.hcap[i, j]:.6f} {spec.vcap[i, j]:.6f}\n"
+                    )
+        f.write(f"NumCapacityAdjustments : {len(adjust)}\n")
+        f.writelines(adjust)
+
+
+def _write_regions(design: Design, path: str) -> None:
+    with open(path, "w") as f:
+        f.write("regions 1.0\n")
+        f.write(f"NumRegions : {len(design.regions)}\n")
+        for region in design.regions:
+            f.write(f"Region {region.name} {len(region.rects)}\n")
+            for r in region.rects:
+                f.write(f"   {r.xl:.6f} {r.yl:.6f} {r.xh:.6f} {r.yh:.6f}\n")
+        members = [
+            (n.name, design.regions[n.region].name)
+            for n in design.nodes
+            if n.region is not None
+        ]
+        f.write(f"NumMembers : {len(members)}\n")
+        for node_name, region_name in members:
+            f.write(f"   {node_name} {region_name}\n")
+
+
+def _write_hier(design: Design, path: str) -> None:
+    with open(path, "w") as f:
+        f.write("hier 1.0\n")
+        for n in design.nodes:
+            if n.module:
+                f.write(f"   {n.name} {n.module}\n")

@@ -1,0 +1,98 @@
+"""Independent legality audit.
+
+Used by tests and the flow after legalization/detailed placement; checks
+are written against the design rules directly, not against the
+legalizers' internal state, so they catch legalizer bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db import Design, NodeKind
+
+
+@dataclass
+class LegalityReport:
+    """Violations found by :func:`check_legal` (empty = legal)."""
+
+    violations: list = field(default_factory=list)
+    checked_nodes: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"legal ({self.checked_nodes} nodes checked)"
+        head = "; ".join(self.violations[:5])
+        more = f" (+{len(self.violations) - 5} more)" if len(self.violations) > 5 else ""
+        return f"{len(self.violations)} violations: {head}{more}"
+
+
+def check_legal(design: Design, *, tol: float = 1e-6, max_violations: int = 200) -> LegalityReport:
+    """Audit core containment, row/site alignment, overlaps and fences."""
+    report = LegalityReport()
+    core = design.core
+    rows_y = {round(r.y, 6) for r in design.rows}
+    site = design.site_width
+
+    def add(msg: str) -> bool:
+        report.violations.append(msg)
+        return len(report.violations) >= max_violations
+
+    blockers = []
+    for node in design.nodes:
+        if not node.is_movable:
+            continue
+        report.checked_nodes += 1
+        r = node.rect
+        if (
+            r.xl < core.xl - tol
+            or r.xh > core.xh + tol
+            or r.yl < core.yl - tol
+            or r.yh > core.yh + tol
+        ):
+            if add(f"{node.name}: outside core"):
+                return report
+        if node.kind is NodeKind.CELL:
+            if round(node.y, 6) not in rows_y:
+                if add(f"{node.name}: not row-aligned (y={node.y})"):
+                    return report
+            phase = (node.x - core.xl) / site
+            if abs(phase - round(phase)) > 1e-4:
+                if add(f"{node.name}: not site-aligned (x={node.x})"):
+                    return report
+        if node.region is not None:
+            region = design.regions[node.region]
+            if not region.contains_rect(r.inflated(-min(tol, r.width / 2, r.height / 2))):
+                if add(f"{node.name}: outside fence {region.name}"):
+                    return report
+        else:
+            for region in design.regions:
+                if any(
+                    r.overlap_area(fr) > tol * max(1.0, r.area) for fr in region.rects
+                ):
+                    if add(f"{node.name}: intrudes into fence {region.name}"):
+                        return report
+                    break
+        blockers.append((r, node.name))
+    for node in design.nodes:
+        if not node.is_movable and node.kind.blocks_placement:
+            blockers.append((node.rect, node.name))
+
+    # Overlap sweep: sort by xl, compare against active window.
+    blockers.sort(key=lambda t: t[0].xl)
+    active = []
+    for rect, name in blockers:
+        still = []
+        for other, other_name in active:
+            if other.xh > rect.xl + tol:
+                still.append((other, other_name))
+                if rect.intersects(other) and rect.overlap_area(other) > tol:
+                    if add(f"overlap: {name} x {other_name}"):
+                        return report
+        active = still
+        active.append((rect, name))
+    return report

@@ -1,0 +1,100 @@
+"""Filler-cell insertion and removal.
+
+Fillers occupy the whitespace of legalized sub-rows so later incremental
+steps (ECO moves, spreading experiments) cannot silently collapse the
+gaps the placer left for routability.  They are ordinary movable nodes
+of kind :data:`~repro.db.NodeKind.FILLER`, excluded from statistics and
+wirelength (no pins), and removable with :func:`remove_fillers`.
+"""
+
+from __future__ import annotations
+
+from repro.db import Design, Node, NodeKind
+from repro.legal.subrows import SubRowMap
+
+
+def insert_fillers(
+    design: Design,
+    submap: SubRowMap | None = None,
+    *,
+    max_width_sites: int = 16,
+    prefix: str = "repro_fill",
+) -> int:
+    """Fill every sub-row gap with filler cells; returns fillers added.
+
+    Gaps wider than ``max_width_sites`` sites are tiled by several
+    fillers so detailed placement can still move them individually.
+    """
+    if submap is None:
+        submap = SubRowMap(design)
+        submap.rebuild_cells(design)
+    count = 0
+    for sr in submap.subrows:
+        cells = sorted(sr.cells, key=lambda i: design.nodes[i].x)
+        cursor = sr.x_min
+        spans = []
+        for idx in cells:
+            node = design.nodes[idx]
+            if node.x > cursor + 1e-9:
+                spans.append((cursor, node.x))
+            cursor = max(cursor, node.x + node.placed_width)
+        if cursor < sr.x_max - 1e-9:
+            spans.append((cursor, sr.x_max))
+        for lo, hi in spans:
+            x = lo
+            while hi - x > 1e-9:
+                width = min(hi - x, max_width_sites * sr.site_width)
+                # Snap the width down to whole sites; drop sub-site slivers.
+                sites = int(round(width / sr.site_width))
+                if sites < 1:
+                    break
+                width = sites * sr.site_width
+                if x + width > hi + 1e-9:
+                    break
+                node = design.add_node(
+                    Node(
+                        name=f"{prefix}_{count}",
+                        width=width,
+                        height=sr.height,
+                        kind=NodeKind.FILLER,
+                        x=x,
+                        y=sr.y,
+                        region=sr.region,
+                    )
+                )
+                sr.cells.append(node.index)
+                count += 1
+                x += width
+    return count
+
+
+def remove_fillers(design: Design, prefix: str = "repro_fill") -> int:
+    """Remove all filler nodes previously inserted; returns count.
+
+    Fillers never carry pins, so the netlist is untouched; node indices
+    are recomputed, which invalidates outstanding index-based references
+    — call between flow stages, not inside one.
+    """
+    keep = [n for n in design.nodes if n.kind is not NodeKind.FILLER]
+    removed = len(design.nodes) - len(keep)
+    if removed == 0:
+        return 0
+    if any(n.pins for n in design.nodes if n.kind is NodeKind.FILLER):
+        raise ValueError("cannot remove fillers that carry pins")
+    old_to_new = {}
+    design.nodes = []
+    design._node_index = {}
+    for node in keep:
+        old = node.index
+        node.index = len(design.nodes)
+        design.nodes.append(node)
+        design._node_index[node.name] = node.index
+        old_to_new[old] = node.index
+    for net in design.nets:
+        for pin in net.pins:
+            pin.node = old_to_new[pin.node]
+    # Hierarchy cell lists reference node indices; remap them too.
+    for module in design.hierarchy.modules():
+        module.cells = [old_to_new[c] for c in module.cells if c in old_to_new]
+    design._topology_version += 1
+    return removed

@@ -1,0 +1,65 @@
+"""The legalization stage orchestrator."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.db import Design
+from repro.legal.abacus import abacus_refine
+from repro.legal.check import LegalityReport, check_legal
+from repro.legal.macro_legal import legalize_macros
+from repro.legal.subrows import SubRowMap
+from repro.legal.tetris import tetris_legalize
+
+
+@dataclass
+class LegalizeResult:
+    """Outcome of :meth:`Legalizer.legalize`."""
+
+    submap: SubRowMap
+    macros_moved: int
+    total_displacement: float
+    max_displacement: float
+    runtime_seconds: float
+    report: LegalityReport
+
+    @property
+    def ok(self) -> bool:
+        return self.report.ok
+
+
+class Legalizer:
+    """Macro legalization + Tetris + Abacus, with a legality audit."""
+
+    def __init__(self, *, macro_channel: float = 0.0, row_probe: int = 24):
+        self.macro_channel = macro_channel
+        self.row_probe = row_probe
+
+    def legalize(self, design: Design) -> LegalizeResult:
+        t0 = time.time()
+        desired = {
+            n.index: (n.x, n.y) for n in design.nodes if n.is_movable
+        }
+        macros_moved = legalize_macros(design, channel=self.macro_channel)
+        submap = SubRowMap(design)
+        tetris_legalize(design, submap, row_probe=self.row_probe)
+        abacus_refine(design, submap, {i: xy[0] for i, xy in desired.items()})
+        total = 0.0
+        worst = 0.0
+        for node in design.nodes:
+            if not node.is_movable:
+                continue
+            dx0, dy0 = desired[node.index]
+            d = abs(node.x - dx0) + abs(node.y - dy0)
+            total += d
+            worst = max(worst, d)
+        report = check_legal(design)
+        return LegalizeResult(
+            submap=submap,
+            macros_moved=macros_moved,
+            total_displacement=total,
+            max_displacement=worst,
+            runtime_seconds=time.time() - t0,
+            report=report,
+        )

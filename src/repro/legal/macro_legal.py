@@ -1,0 +1,107 @@
+"""Macro legalization: overlap-free, grid-aligned macro positions.
+
+Greedy by decreasing area (large macros are hardest to fit): each macro
+is snapped to the site/row grid at its global-placement position; if that
+overlaps a fixed object or an already-legalized macro, a spiral search
+over grid offsets of increasing radius finds the nearest free position.
+This is the pragmatic core of what MP-tree-style macro legalizers do at
+this scale, and it preserves the global placer's macro arrangement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db import Design, NodeKind
+from repro.geometry import Rect
+
+
+def _snap(value: float, origin: float, pitch: float) -> float:
+    return origin + pitch * round((value - origin) / pitch)
+
+
+def legalize_macros(
+    design: Design, *, max_radius_rows: int = 200, channel: float = 0.0
+) -> int:
+    """Legalize every movable macro; returns how many had to move.
+
+    ``channel`` reserves a clearance margin around each macro (in die
+    units) — the narrow-channel padding that keeps standard-cell and
+    routing space between abutting macros.
+    """
+    core = design.core
+    site = design.site_width
+    row_h = design.row_height
+    obstacles = [
+        node.rect
+        for node in design.nodes
+        if node.kind.is_fixed and node.kind.blocks_placement
+    ]
+    # Fence interiors are reserved for their member cells; macros that do
+    # not belong to a region treat its rectangles as hard obstacles.
+    fence_obstacles = {
+        region.index: list(region.rects) for region in design.regions
+    }
+    macros = sorted(
+        (n for n in design.nodes if n.kind is NodeKind.MACRO),
+        key=lambda n: -n.area,
+    )
+    moved = 0
+    for node in macros:
+        blocked = obstacles + [
+            r
+            for rid, rects in fence_obstacles.items()
+            if rid != node.region
+            for r in rects
+        ]
+        placed = _legal_spot(node, core, blocked, site, row_h, max_radius_rows, channel)
+        if placed is None:
+            # Desperate fallback: clamp into core, accept the overlap; the
+            # legality check will flag it rather than silently dropping.
+            origin = core.clamp_rect_origin(node.rect)
+            node.x, node.y = origin.x, origin.y
+        else:
+            if abs(placed[0] - node.x) > 1e-9 or abs(placed[1] - node.y) > 1e-9:
+                moved += 1
+            node.x, node.y = placed
+        obstacles.append(node.rect.inflated(channel))
+    return moved
+
+
+def _legal_spot(node, core: Rect, obstacles, site, row_h, max_radius, channel):
+    """Nearest grid-aligned, in-core, overlap-free lower-left for ``node``."""
+    w, h = node.placed_width, node.placed_height
+    x0 = _snap(min(max(node.x, core.xl), core.xh - w), core.xl, site)
+    y0 = _snap(min(max(node.y, core.yl), core.yh - h), core.yl, row_h)
+
+    def ok(x, y):
+        if x < core.xl - 1e-9 or x + w > core.xh + 1e-9:
+            return False
+        if y < core.yl - 1e-9 or y + h > core.yh + 1e-9:
+            return False
+        rect = Rect.from_size(x, y, w, h).inflated(channel)
+        return not any(rect.intersects(ob) for ob in obstacles)
+
+    if ok(x0, y0):
+        return (x0, y0)
+    # Spiral over the ring of radius r (in rows vertically, ~rows in x).
+    step_x = max(site, row_h)  # coarse x step keeps the search bounded
+    for r in range(1, max_radius + 1):
+        candidates = []
+        dy = r * row_h
+        dxs = np.arange(-r, r + 1) * step_x
+        for dx in dxs:
+            candidates.append((x0 + dx, y0 + dy))
+            candidates.append((x0 + dx, y0 - dy))
+        dx = r * step_x
+        dys = np.arange(-r + 1, r) * row_h
+        for dyy in dys:
+            candidates.append((x0 + dx, y0 + dyy))
+            candidates.append((x0 - dx, y0 + dyy))
+        candidates.sort(key=lambda p: abs(p[0] - node.x) + abs(p[1] - node.y))
+        for x, y in candidates:
+            x = _snap(x, core.xl, site)
+            y = _snap(y, core.yl, row_h)
+            if ok(x, y):
+                return (x, y)
+    return None

@@ -1,0 +1,114 @@
+"""Tetris-style greedy standard-cell legalization.
+
+Cells are processed left-to-right (by global-placement x); each takes the
+cheapest feasible position at the current *tail* of a nearby sub-row in
+its fence domain.  O(n log n + n * rows-probed), displacement-aware, and
+the classical warm start for Abacus refinement.
+"""
+
+from __future__ import annotations
+
+from repro.db import Design, NodeKind
+from repro.legal.subrows import SubRowMap
+
+
+def tetris_legalize(
+    design: Design, submap: SubRowMap | None = None, *, row_probe: int = 24
+) -> SubRowMap:
+    """Assign every standard cell to a sub-row position.
+
+    Two attempts: the displacement-friendly variant places each cell at
+    ``max(tail, desired x)``, which can strand row space and exhaust
+    capacity on tight designs; if that happens the assignment is redone
+    with pure tail packing, which never strands and succeeds whenever
+    per-domain capacity suffices.  (Abacus restores x afterwards either
+    way.)  Raises ``RuntimeError`` only on true capacity exhaustion.
+    """
+    if submap is None:
+        submap = SubRowMap(design)
+    snapshot = {
+        n.index: (n.x, n.y)
+        for n in design.nodes
+        if n.is_movable and n.kind in (NodeKind.CELL, NodeKind.FILLER)
+    }
+    try:
+        return _assign(design, submap, row_probe, pack_only=False)
+    except RuntimeError:
+        for idx, (x, y) in snapshot.items():
+            design.nodes[idx].x = x
+            design.nodes[idx].y = y
+        for sr in submap.subrows:
+            sr.cells.clear()
+        return _assign(design, submap, row_probe, pack_only=True)
+
+
+def _assign(design: Design, submap: SubRowMap, row_probe: int, pack_only: bool) -> SubRowMap:
+    tails = {id(sr): sr.x_min for sr in submap.subrows}
+    cells = [
+        n
+        for n in design.nodes
+        if n.is_movable and n.kind in (NodeKind.CELL, NodeKind.FILLER)
+    ]
+    cells.sort(key=lambda n: n.x)
+    # Stranding budget: placing a cell past a row's tail permanently wastes
+    # the gap (cells arrive in x order), so each sub-row may strand at most
+    # its fair share of its fence domain's slack.  Total stranding then
+    # never exceeds total slack and the assignment stays feasible.
+    need = {}
+    for n in cells:
+        need[n.region] = need.get(n.region, 0.0) + n.placed_width
+    fill = {}
+    for region, demand in need.items():
+        cap = sum(sr.width for sr in submap.for_region(region))
+        fill[region] = demand / cap if cap > 0 else 1.0
+    budgets = {
+        id(sr): max(0.0, sr.width * (1.0 - fill.get(sr.region, 1.0)))
+        for sr in submap.subrows
+    }
+    for node in cells:
+        domain = submap.for_region(node.region)
+        if not domain:
+            raise RuntimeError(
+                f"no sub-rows available for cell {node.name} "
+                f"(region {node.region})"
+            )
+        # Probe sub-rows nearest in y first.
+        ranked = sorted(domain, key=lambda sr: abs(sr.y - node.y))[:row_probe]
+        best = None
+        best_cost = float("inf")
+        w = node.placed_width
+        for sr in ranked:
+            tail = tails[id(sr)]
+            if pack_only:
+                x = tail
+            else:
+                site = sr.site_width
+                allowed = site * int(budgets[id(sr)] / site)
+                x = min(max(tail, sr.snap_x(node.x, w)), tail + allowed)
+            if x + w > sr.x_max + 1e-9:
+                continue
+            cost = abs(x - node.x) + abs(sr.y - node.y)
+            if cost < best_cost:
+                best_cost = cost
+                best = (sr, x)
+        if best is None:
+            # Widen: any sub-row in the domain with room at its tail.
+            for sr in domain:
+                tail = tails[id(sr)]
+                if tail + w > sr.x_max + 1e-9:
+                    continue
+                cost = abs(tail - node.x) + abs(sr.y - node.y)
+                if cost < best_cost:
+                    best_cost = cost
+                    best = (sr, tail)
+        if best is None:
+            raise RuntimeError(
+                f"legalization capacity exhausted placing {node.name}"
+            )
+        sr, x = best
+        node.x = x
+        node.y = sr.y
+        budgets[id(sr)] -= max(0.0, x - tails[id(sr)])
+        tails[id(sr)] = x + w
+        sr.cells.append(node.index)
+    return submap

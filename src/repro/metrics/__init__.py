@@ -1,0 +1,15 @@
+"""Result aggregation and table formatting for the evaluation harness."""
+
+from repro.metrics.report import (
+    comparison_table,
+    format_table,
+    geometric_mean,
+    normalize_rows,
+)
+
+__all__ = [
+    "comparison_table",
+    "format_table",
+    "geometric_mean",
+    "normalize_rows",
+]

@@ -1,0 +1,108 @@
+"""Plain-text tables in the style of the paper's results section."""
+
+from __future__ import annotations
+
+import math
+
+
+def format_table(rows, columns=None, title: str | None = None) -> str:
+    """Align a list of dict rows into a monospace table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    widths = {
+        c: max(len(str(c)), *(len(_fmt(r.get(c, ""))) for r in rows)) for c in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).rjust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row.get(c, "")).rjust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (the paper's normalization convention); skips
+    non-positive entries, returns nan when nothing is left."""
+    vals = [v for v in values if v and v > 0]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def normalize_rows(rows, key: str, reference: str, by: str = "design"):
+    """Add ``key + "_ratio"`` columns normalized to the reference flow.
+
+    ``rows`` are dicts with a ``flow`` field; values of ``key`` are
+    divided by the value of the row of the same ``by`` whose ``flow``
+    equals ``reference``.
+    """
+    ref = {
+        r[by]: r[key]
+        for r in rows
+        if r.get("flow") == reference and r.get(key)
+    }
+    out = []
+    for r in rows:
+        r = dict(r)
+        base = ref.get(r.get(by))
+        r[key + "_ratio"] = (r[key] / base) if base else float("nan")
+        out.append(r)
+    return out
+
+
+def comparison_table(results_by_flow: dict, title: str | None = None) -> str:
+    """Side-by-side table of FlowResults keyed by flow name.
+
+    ``results_by_flow``: ``{flow_name: {design_name: FlowResult}}``.
+    Reports HPWL, RC and scaled HPWL per flow with geometric-mean ratios
+    against the first flow.
+    """
+    flows = list(results_by_flow)
+    designs = sorted({d for fr in results_by_flow.values() for d in fr})
+    rows = []
+    for design in designs:
+        row = {"design": design}
+        for flow in flows:
+            res = results_by_flow[flow].get(design)
+            if res is None:
+                continue
+            row[f"{flow}.HPWL"] = round(res.hpwl_final, 0)
+            row[f"{flow}.RC"] = round(res.rc, 3)
+            row[f"{flow}.sHPWL"] = round(res.scaled_hpwl, 0)
+        rows.append(row)
+    # Geometric-mean ratio row vs the first flow.
+    base = flows[0]
+    ratio_row = {"design": f"ratio/gmean vs {base}"}
+    for flow in flows:
+        for metric, attr in (("sHPWL", "scaled_hpwl"), ("HPWL", "hpwl_final")):
+            ratios = []
+            for design in designs:
+                a = results_by_flow[flow].get(design)
+                b = results_by_flow[base].get(design)
+                if a and b and getattr(b, attr):
+                    ratios.append(getattr(a, attr) / getattr(b, attr))
+            if ratios:
+                ratio_row[f"{flow}.{metric}"] = round(geometric_mean(ratios), 4)
+    rows.append(ratio_row)
+    return format_table(rows, title=title)

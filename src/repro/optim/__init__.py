@@ -1,0 +1,5 @@
+"""Numerical optimization for analytical placement."""
+
+from repro.optim.cg import CGResult, minimize_cg
+
+__all__ = ["CGResult", "minimize_cg"]

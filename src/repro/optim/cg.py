@@ -1,0 +1,127 @@
+"""Projected Polak-Ribiere conjugate gradient with backtracking line search.
+
+This is the inner solver of global placement: it minimizes the merit
+function ``wirelength + lambda * density`` for one value of ``lambda``.
+The placement-specific twists, both standard in the NTUplace lineage:
+
+* search directions are normalized to unit infinity-norm, so the step
+  length is measured in *distance on the die* and can be capped (cells
+  never teleport across the core in one iteration);
+* an optional projection keeps iterates inside the core (and inside fence
+  regions) after every step, making the method a projected CG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CGResult:
+    """Outcome of :func:`minimize_cg`."""
+
+    x: np.ndarray
+    value: float
+    grad_norm: float
+    iterations: int
+    converged: bool
+    trajectory: list  # objective value per iteration
+
+
+def minimize_cg(
+    value_grad,
+    x0: np.ndarray,
+    *,
+    max_iter: int = 100,
+    step_init: float = 1.0,
+    step_max: float | None = None,
+    rel_tol: float = 1e-4,
+    armijo_c: float = 1e-4,
+    backtrack: float = 0.5,
+    max_backtracks: int = 12,
+    project=None,
+    record: bool = False,
+) -> CGResult:
+    """Minimize ``value_grad: x -> (f, g)`` starting from ``x0``.
+
+    ``step_init``/``step_max`` are in the units of ``x`` (die distance).
+    ``project`` maps a candidate iterate back into the feasible set.
+    Converges when the relative objective decrease over an iteration falls
+    below ``rel_tol``.
+    """
+    x = np.array(x0, dtype=float)
+    if project is not None:
+        x = project(x)
+    f, g = value_grad(x)
+    d = -g
+    alpha = float(step_init)
+    trajectory = [f] if record else []
+    converged = False
+    iterations = 0
+    for it in range(max_iter):
+        iterations = it + 1
+        dinf = float(np.max(np.abs(d))) if d.size else 0.0
+        if dinf <= 0.0:
+            converged = True
+            break
+        d_hat = d / dinf
+        slope = float(np.dot(g, d_hat))
+        if slope >= 0.0:  # not a descent direction: restart on -g
+            d = -g
+            dinf = float(np.max(np.abs(d)))
+            if dinf <= 0.0:
+                converged = True
+                break
+            d_hat = d / dinf
+            slope = float(np.dot(g, d_hat))
+            if slope >= 0.0:
+                converged = True
+                break
+        # Backtracking Armijo search in absolute distance units.
+        step = alpha
+        if step_max is not None:
+            step = min(step, step_max)
+        accepted = False
+        f_new = f
+        x_new = x
+        for _ in range(max_backtracks):
+            x_try = x + step * d_hat
+            if project is not None:
+                x_try = project(x_try)
+            f_try, g_try = value_grad(x_try)
+            if f_try <= f + armijo_c * step * slope or f_try < f:
+                accepted = True
+                x_new, f_new, g_new = x_try, f_try, g_try
+                break
+            step *= backtrack
+        if not accepted:
+            converged = True
+            break
+        # Adapt the trial step: grow after easy acceptance, keep otherwise.
+        alpha = step * (2.0 if step >= alpha * 0.99 else 1.0)
+        if step_max is not None:
+            alpha = min(alpha, step_max)
+        # Polak-Ribiere+ update.
+        gg = float(np.dot(g, g))
+        beta = 0.0
+        if gg > 0:
+            beta = max(0.0, float(np.dot(g_new, g_new - g)) / gg)
+        d = -g_new + beta * d
+        rel_drop = abs(f - f_new) / max(abs(f), 1e-12)
+        x, f, g = x_new, f_new, g_new
+        if record:
+            trajectory.append(f)
+        if rel_drop < rel_tol:
+            converged = True
+            break
+    grad_norm = float(np.linalg.norm(g)) if g.size else 0.0
+    return CGResult(
+        x=x,
+        value=f,
+        grad_norm=grad_norm,
+        iterations=iterations,
+        converged=converged,
+        trajectory=trajectory,
+    )

@@ -1,0 +1,139 @@
+"""The routing grid graph: tile-boundary edges with capacity and usage.
+
+Edges are stored as two dense arrays:
+
+* ``cap_e[i, j]`` / ``use_e[i, j]`` — the **east** edge from tile
+  ``(i, j)`` to ``(i+1, j)``, shape ``(nx-1, ny)``;
+* ``cap_n[i, j]`` / ``use_n[i, j]`` — the **north** edge from ``(i, j)``
+  to ``(i, j+1)``, shape ``(nx, ny-1)``.
+
+``history_*`` carries the negotiated-congestion history cost that makes
+rip-up-and-reroute converge (PathFinder-style).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.route.spec import RoutingSpec
+
+
+class GridGraph:
+    """Capacity/usage state of the routing grid."""
+
+    def __init__(self, spec: RoutingSpec):
+        self.spec = spec
+        nx, ny = spec.grid.nx, spec.grid.ny
+        self.nx, self.ny = nx, ny
+        # Boundary capacity = mean of adjacent tile supplies.
+        self.cap_e = 0.5 * (spec.hcap[:-1, :] + spec.hcap[1:, :])
+        self.cap_n = 0.5 * (spec.vcap[:, :-1] + spec.vcap[:, 1:])
+        self.use_e = np.zeros_like(self.cap_e)
+        self.use_n = np.zeros_like(self.cap_n)
+        self.history_e = np.zeros_like(self.cap_e)
+        self.history_n = np.zeros_like(self.cap_n)
+
+    # ------------------------------------------------------------------
+    # usage bookkeeping
+    # ------------------------------------------------------------------
+    def reset_usage(self) -> None:
+        self.use_e[:] = 0.0
+        self.use_n[:] = 0.0
+
+    def add_horizontal_run(self, j: int, i0: int, i1: int, amount: float = 1.0) -> None:
+        """Add usage along row ``j`` crossing east edges ``i0..i1-1``."""
+        if i1 > i0:
+            self.use_e[i0:i1, j] += amount
+
+    def add_vertical_run(self, i: int, j0: int, j1: int, amount: float = 1.0) -> None:
+        """Add usage along column ``i`` crossing north edges ``j0..j1-1``."""
+        if j1 > j0:
+            self.use_n[i, j0:j1] += amount
+
+    # ------------------------------------------------------------------
+    # congestion views
+    # ------------------------------------------------------------------
+    def overflow_e(self) -> np.ndarray:
+        return np.maximum(self.use_e - self.cap_e, 0.0)
+
+    def overflow_n(self) -> np.ndarray:
+        return np.maximum(self.use_n - self.cap_n, 0.0)
+
+    def total_overflow(self) -> float:
+        return float(self.overflow_e().sum() + self.overflow_n().sum())
+
+    def max_overflow(self) -> float:
+        vals = [0.0]
+        if self.use_e.size:
+            vals.append(float(self.overflow_e().max()))
+        if self.use_n.size:
+            vals.append(float(self.overflow_n().max()))
+        return max(vals)
+
+    def edge_congestion(self) -> np.ndarray:
+        """usage/capacity of every edge, flattened (zero-capacity edges
+        report usage as infinite congestion only when actually used)."""
+        parts = []
+        for use, cap in ((self.use_e, self.cap_e), (self.use_n, self.cap_n)):
+            if use.size == 0:
+                continue
+            with np.errstate(divide="ignore", invalid="ignore"):
+                c = np.where(
+                    cap > 0,
+                    use / np.maximum(cap, 1e-12),
+                    np.where(use > 0, np.inf, 0.0),
+                )
+            parts.append(c.ravel())
+        if not parts:
+            return np.zeros(0)
+        return np.concatenate(parts)
+
+    def tile_congestion(self) -> np.ndarray:
+        """Per-tile congestion: max usage/capacity of its incident edges.
+
+        This is the heat-map view used by the placer's inflation and the
+        congestion-map figure.
+        """
+        out = np.zeros((self.nx, self.ny))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ce = np.where(self.cap_e > 0, self.use_e / np.maximum(self.cap_e, 1e-12), 0.0)
+            cn = np.where(self.cap_n > 0, self.use_n / np.maximum(self.cap_n, 1e-12), 0.0)
+        if ce.size:
+            out[:-1, :] = np.maximum(out[:-1, :], ce)
+            out[1:, :] = np.maximum(out[1:, :], ce)
+        if cn.size:
+            out[:, :-1] = np.maximum(out[:, :-1], cn)
+            out[:, 1:] = np.maximum(out[:, 1:], cn)
+        return out
+
+    def wirelength(self) -> float:
+        """Total routed length in tile-edge crossings."""
+        return float(self.use_e.sum() + self.use_n.sum())
+
+    # ------------------------------------------------------------------
+    # edge costs for congestion-aware routing
+    # ------------------------------------------------------------------
+    def cost_arrays(self, history_weight: float = 1.0, overflow_penalty: float = 8.0):
+        """Per-edge traversal cost (east, north) for the current state.
+
+        Cost grows smoothly with utilization and sharply past capacity —
+        the standard negotiated-congestion shape: ``1 + h*history +
+        penalty * max(0, (use+1-cap)/cap)`` evaluated for the *next* wire.
+        """
+        def cost(use, cap, hist):
+            safe_cap = np.maximum(cap, 1e-12)
+            util = (use + 1.0) / safe_cap
+            over = np.maximum(util - 1.0, 0.0)
+            base = 1.0 + np.minimum(util, 1.0) ** 2
+            blocked = np.where(cap <= 0, 1e6, 0.0)
+            return base + history_weight * hist + overflow_penalty * over + blocked
+
+        return (
+            cost(self.use_e, self.cap_e, self.history_e),
+            cost(self.use_n, self.cap_n, self.history_n),
+        )
+
+    def bump_history(self, increment: float = 0.5) -> None:
+        """Raise history cost on currently overflowed edges (PathFinder)."""
+        self.history_e += increment * (self.use_e > self.cap_e)
+        self.history_n += increment * (self.use_n > self.cap_n)

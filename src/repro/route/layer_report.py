@@ -1,0 +1,75 @@
+"""Per-layer spreading of routed usage.
+
+The router works on horizontal/vertical aggregates; this report
+re-distributes the committed usage over the spec's metal layers in
+proportion to each layer's capacity share — the standard first-order
+layer-assignment model — and reports per-layer wirelength and peak
+utilization.  Useful when comparing placements whose congestion differs
+mostly on the scarce low layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.route.graph import GridGraph
+from repro.route.spec import LayerSpec, RoutingSpec
+
+
+@dataclass
+class LayerUsage:
+    """Usage of one layer after proportional spreading."""
+
+    layer: LayerSpec
+    wirelength: float
+    peak_utilization: float
+    usage: np.ndarray  # per-edge usage on this layer
+
+    def as_row(self) -> dict:
+        return {
+            "layer": self.layer.name,
+            "dir": self.layer.direction,
+            "capacity": self.layer.capacity,
+            "wirelength": round(self.wirelength, 1),
+            "peak_util": round(self.peak_utilization, 3),
+        }
+
+
+def spread_over_layers(graph: GridGraph, spec: RoutingSpec | None = None) -> list:
+    """Distribute routed usage over the spec's layers; returns LayerUsage.
+
+    Raises when the spec carries no layer breakdown.
+    """
+    spec = spec or graph.spec
+    if not spec.layers:
+        raise ValueError("routing spec has no per-layer breakdown")
+    out = []
+    for direction, use, cap in (
+        ("H", graph.use_e, graph.cap_e),
+        ("V", graph.use_n, graph.cap_n),
+    ):
+        members = [l for l in spec.layers if l.direction == direction]
+        total_cap = sum(l.capacity for l in members)
+        for layer in members:
+            share = layer.capacity / total_cap if total_cap > 0 else 0.0
+            layer_use = use * share
+            if cap.size and layer.capacity > 0:
+                cap_share = cap * share
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    util = np.where(
+                        cap_share > 0, layer_use / np.maximum(cap_share, 1e-12), 0.0
+                    )
+                peak = float(util.max()) if util.size else 0.0
+            else:
+                peak = 0.0
+            out.append(
+                LayerUsage(
+                    layer=layer,
+                    wirelength=float(layer_use.sum()),
+                    peak_utilization=peak,
+                    usage=layer_use,
+                )
+            )
+    return out

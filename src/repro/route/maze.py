@@ -1,0 +1,108 @@
+"""A* maze routing on the tile grid.
+
+The escape hatch for connections pattern routing cannot realize without
+overflow: finds the cheapest monotone-or-not path between two tiles under
+the current congestion costs, restricted to a search window around the
+connection's bounding box.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+
+def maze_route(
+    cost_e: np.ndarray,
+    cost_n: np.ndarray,
+    start: tuple,
+    goal: tuple,
+    window=None,
+    bend_cost: float = 0.05,
+):
+    """Cheapest path from ``start`` to ``goal`` tile, as a run list.
+
+    ``window`` is ``(i_lo, j_lo, i_hi, j_hi)`` inclusive bounds on the
+    searched tiles; default: whole grid.  ``bend_cost`` mildly prefers
+    straighter paths so run lists stay short.  Returns ``(cost, runs)``
+    or ``(inf, None)`` when no path exists in the window.
+    """
+    nx = cost_n.shape[0]
+    ny = cost_e.shape[1]
+    if window is None:
+        window = (0, 0, nx - 1, ny - 1)
+    i_lo, j_lo, i_hi, j_hi = window
+    si, sj = start
+    gi, gj = goal
+    min_edge = 1.0  # admissible heuristic scale: costs are >= ~1
+
+    # State: (f, g, i, j, incoming direction), directions 0=E,1=W,2=N,3=S.
+    start_state = (si, sj, -1)
+    best = {start_state: 0.0}
+    came = {}
+    h0 = (abs(gi - si) + abs(gj - sj)) * min_edge
+    heap = [(h0, 0.0, si, sj, -1)]
+    found = None
+    while heap:
+        f, g, i, j, d = heapq.heappop(heap)
+        if (i, j) == (gi, gj):
+            found = (i, j, d)
+            break
+        if g > best.get((i, j, d), np.inf):
+            continue
+        moves = []
+        if i < i_hi:
+            moves.append((i + 1, j, 0, cost_e[i, j]))
+        if i > i_lo:
+            moves.append((i - 1, j, 1, cost_e[i - 1, j]))
+        if j < j_hi:
+            moves.append((i, j + 1, 2, cost_n[i, j]))
+        if j > j_lo:
+            moves.append((i, j - 1, 3, cost_n[i, j - 1]))
+        for ni, nj, nd, ec in moves:
+            ng = g + float(ec) + (bend_cost if d != -1 and d != nd else 0.0)
+            key = (ni, nj, nd)
+            if ng < best.get(key, np.inf):
+                best[key] = ng
+                came[key] = (i, j, d)
+                h = (abs(gi - ni) + abs(gj - nj)) * min_edge
+                heapq.heappush(heap, (ng + h, ng, ni, nj, nd))
+    if found is None:
+        return np.inf, None
+    # Reconstruct the tile path.
+    path = []
+    state = found
+    while state != start_state:
+        path.append((state[0], state[1]))
+        state = came[state]
+    path.append((si, sj))
+    path.reverse()
+    return best[found], _path_to_runs(path)
+
+
+def _path_to_runs(path):
+    """Merge a tile path into maximal horizontal/vertical runs."""
+    runs = []
+    k = 0
+    n = len(path)
+    while k < n - 1:
+        i0, j0 = path[k]
+        i1, j1 = path[k + 1]
+        if j0 == j1:  # horizontal
+            m = k + 1
+            while m + 1 < n and path[m + 1][1] == j0:
+                m += 1
+            a = min(path[k][0], path[m][0])
+            b = max(path[k][0], path[m][0])
+            runs.append(("H", j0, a, b))
+            k = m
+        else:  # vertical
+            m = k + 1
+            while m + 1 < n and path[m + 1][0] == i0:
+                m += 1
+            a = min(path[k][1], path[m][1])
+            b = max(path[k][1], path[m][1])
+            runs.append(("V", i0, a, b))
+            k = m
+    return runs

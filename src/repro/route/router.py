@@ -1,0 +1,261 @@
+"""The evaluation global router.
+
+Three phases, each congestion-aware:
+
+1. **L sweeps** — every two-pin connection gets the cheaper of its two
+   one-bend routes; the whole sweep is vectorized with prefix-summed edge
+   costs and repeated so later sweeps see earlier demand.
+2. **Z refinement** — connections crossing overflowed edges are ripped and
+   re-routed with the best two-bend route.
+3. **Maze rip-up-and-reroute** — remaining offenders go through A* with
+   PathFinder-style history costs, several rounds.
+
+The router is deliberately an *evaluator*: good enough to rank placements
+by routability (the contest methodology), not a sign-off router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.route.graph import GridGraph
+from repro.route.maze import maze_route
+from repro.route.metrics import CongestionMetrics, congestion_metrics
+from repro.route.pattern import (
+    best_z_route,
+    l_route_costs,
+    l_route_runs,
+    prefix_costs,
+    runs_cost,
+)
+from repro.route.spec import RoutingSpec
+from repro.route.steiner import decompose_net
+
+
+@dataclass
+class RouteResult:
+    """Outcome of routing one placement."""
+
+    graph: GridGraph
+    metrics: CongestionMetrics
+    num_segments: int
+    maze_rerouted: int
+
+    @property
+    def rc(self) -> float:
+        return self.metrics.rc
+
+    def congestion_map(self) -> np.ndarray:
+        """Per-tile congestion heat map (usage/capacity)."""
+        return self.graph.tile_congestion()
+
+
+class GlobalRouter:
+    """Routes a placed design over a :class:`RoutingSpec`."""
+
+    def __init__(
+        self,
+        spec: RoutingSpec,
+        *,
+        sweeps: int = 2,
+        z_refine: bool = True,
+        maze_rounds: int = 3,
+        max_maze_nets: int = 1500,
+        maze_window_margin: int = 6,
+        cost_refresh: int = 1,
+    ):
+        self.spec = spec
+        self.sweeps = max(1, sweeps)
+        self.z_refine = z_refine
+        self.maze_rounds = maze_rounds
+        self.max_maze_nets = max_maze_nets
+        self.maze_window_margin = maze_window_margin
+        self.cost_refresh = cost_refresh
+
+    # ------------------------------------------------------------------
+    def segments_for(self, arrays, cx: np.ndarray, cy: np.ndarray):
+        """Two-pin tile connections of every net of the placement."""
+        grid = self.spec.grid
+        px, py = arrays.pin_positions(cx, cy)
+        tix, tiy = grid.index_of(px, py)
+        seg = []
+        ptr = arrays.net_ptr
+        for n in range(arrays.num_nets):
+            a, b = ptr[n], ptr[n + 1]
+            if b - a < 2:
+                continue
+            for i0, j0, i1, j1 in decompose_net(tix[a:b], tiy[a:b]):
+                seg.append((i0, j0, i1, j1))
+        if not seg:
+            return (np.zeros((0,), dtype=np.int64),) * 4
+        arr = np.asarray(seg, dtype=np.int64)
+        return arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3]
+
+    # ------------------------------------------------------------------
+    def route(self, design=None, *, arrays=None, cx=None, cy=None) -> RouteResult:
+        """Route ``design`` (or explicit pin arrays + centres)."""
+        if design is not None:
+            arrays = design.pin_arrays()
+            cx, cy = design.pull_centers()
+        if arrays is None or cx is None or cy is None:
+            raise ValueError("route() needs a design or (arrays, cx, cy)")
+        graph = GridGraph(self.spec)
+        i0, j0, i1, j1 = self.segments_for(arrays, cx, cy)
+        nseg = len(i0)
+        if nseg == 0:
+            return RouteResult(graph, congestion_metrics(graph), 0, 0)
+
+        hv = self._l_sweeps(graph, i0, j0, i1, j1)
+        routes = [
+            l_route_runs(int(a), int(b), int(c), int(d), bool(h))
+            for a, b, c, d, h in zip(i0, j0, i1, j1, hv)
+        ]
+        self._commit_all(graph, routes)
+        maze_count = 0
+        if self.z_refine and graph.total_overflow() > 0:
+            self._reroute_offenders(graph, routes, i0, j0, i1, j1, use_maze=False)
+        for _ in range(self.maze_rounds):
+            if graph.total_overflow() <= 0:
+                break
+            graph.bump_history()
+            maze_count += self._reroute_offenders(
+                graph, routes, i0, j0, i1, j1, use_maze=True
+            )
+        metrics = congestion_metrics(graph)
+        # Via estimate: one via per bend (adjacent runs on H/V layers)
+        # plus two pin-access vias per routed connection.
+        metrics.vias = sum(max(0, len(r) - 1) for r in routes) + 2 * nseg
+        return RouteResult(graph, metrics, nseg, maze_count)
+
+    # ------------------------------------------------------------------
+    def _l_sweeps(self, graph: GridGraph, i0, j0, i1, j1) -> np.ndarray:
+        """Iterated vectorized L routing; returns the HV/VH choice."""
+        nseg = len(i0)
+        hv = np.ones(nseg, dtype=bool)
+        for _ in range(self.sweeps):
+            cost_e, cost_n = graph.cost_arrays()
+            pe, pn = prefix_costs(cost_e, cost_n)
+            chv, cvh = l_route_costs(pe, pn, i0, j0, i1, j1)
+            hv = chv <= cvh
+            self._commit_l_choices(graph, i0, j0, i1, j1, hv)
+        return hv
+
+    @staticmethod
+    def _commit_l_choices(graph: GridGraph, i0, j0, i1, j1, hv) -> None:
+        """Rebuild usage from scratch for the given L choices (diff trick)."""
+        nx, ny = graph.nx, graph.ny
+        lo_i = np.minimum(i0, i1)
+        hi_i = np.maximum(i0, i1)
+        lo_j = np.minimum(j0, j1)
+        hi_j = np.maximum(j0, j1)
+        h_rows = np.where(hv, j0, j1)
+        v_cols = np.where(hv, i1, i0)
+        de = np.zeros((nx, ny))
+        has_h = hi_i > lo_i
+        np.add.at(de, (lo_i[has_h], h_rows[has_h]), 1.0)
+        np.add.at(de, (hi_i[has_h], h_rows[has_h]), -1.0)
+        dn = np.zeros((nx, ny))
+        has_v = hi_j > lo_j
+        np.add.at(dn, (v_cols[has_v], lo_j[has_v]), 1.0)
+        np.add.at(dn, (v_cols[has_v], hi_j[has_v]), -1.0)
+        graph.use_e = np.cumsum(de, axis=0)[: nx - 1, :]
+        graph.use_n = np.cumsum(dn, axis=1)[:, : ny - 1]
+
+    @staticmethod
+    def _commit_all(graph: GridGraph, routes) -> None:
+        """Rebuild usage from explicit run lists."""
+        graph.reset_usage()
+        for runs in routes:
+            for kind, line, a, b in runs:
+                if kind == "H":
+                    graph.add_horizontal_run(line, a, b)
+                else:
+                    graph.add_vertical_run(line, a, b)
+
+    @staticmethod
+    def _rip(graph: GridGraph, runs) -> None:
+        for kind, line, a, b in runs:
+            if kind == "H":
+                graph.add_horizontal_run(line, a, b, -1.0)
+            else:
+                graph.add_vertical_run(line, a, b, -1.0)
+
+    def _offending_segments(self, graph: GridGraph, routes) -> list:
+        """Indices of segments whose route crosses an overflowed edge."""
+        over_e = graph.use_e > graph.cap_e
+        over_n = graph.use_n > graph.cap_n
+        out = []
+        for idx, runs in enumerate(routes):
+            hit = False
+            for kind, line, a, b in runs:
+                if kind == "H":
+                    if over_e[a:b, line].any():
+                        hit = True
+                        break
+                else:
+                    if over_n[line, a:b].any():
+                        hit = True
+                        break
+            if hit:
+                out.append(idx)
+        return out
+
+    def _reroute_offenders(
+        self, graph: GridGraph, routes, i0, j0, i1, j1, *, use_maze: bool
+    ) -> int:
+        """Rip and re-route segments crossing overflow; returns count."""
+        offenders = self._offending_segments(graph, routes)
+        if not offenders:
+            return 0
+        # Worst (longest) first would hog resources; shortest first frees
+        # hotspots fastest — the usual negotiation ordering.
+        offenders.sort(
+            key=lambda s: abs(int(i1[s]) - int(i0[s])) + abs(int(j1[s]) - int(j0[s]))
+        )
+        offenders = offenders[: self.max_maze_nets]
+        cost_e = cost_n = pe = pn = None
+        rerouted = 0
+        for count, s in enumerate(offenders):
+            self._rip(graph, routes[s])
+            # Fresh costs per reroute (post-rip): identical offenders must
+            # see each other's commitments or they all pile into the same
+            # detour and the negotiation never converges.
+            if count % self.cost_refresh == 0 or cost_e is None:
+                cost_e, cost_n = graph.cost_arrays()
+                pe, pn = prefix_costs(cost_e, cost_n)
+            a, b, c, d = int(i0[s]), int(j0[s]), int(i1[s]), int(j1[s])
+            z_cost, z_runs = best_z_route(pe, pn, a, b, c, d)
+            new_runs = z_runs
+            if use_maze:
+                margin = self.maze_window_margin
+                window = (
+                    max(0, min(a, c) - margin),
+                    max(0, min(b, d) - margin),
+                    min(graph.nx - 1, max(a, c) + margin),
+                    min(graph.ny - 1, max(b, d) + margin),
+                )
+                m_cost, m_runs = maze_route(cost_e, cost_n, (a, b), (c, d), window)
+                if m_runs is not None and m_cost < z_cost:
+                    new_runs = m_runs
+            # Keep the better of old and new under current costs.
+            if runs_cost(pe, pn, routes[s]) < runs_cost(pe, pn, new_runs):
+                new_runs = routes[s]
+            routes[s] = new_runs
+            for kind, line, lo, hi in new_runs:
+                if kind == "H":
+                    graph.add_horizontal_run(line, lo, hi)
+                else:
+                    graph.add_vertical_run(line, lo, hi)
+            rerouted += 1
+        return rerouted
+
+
+def route_design(design, spec: RoutingSpec | None = None, **router_kw) -> RouteResult:
+    """Convenience wrapper: route ``design`` over ``spec`` (or its own)."""
+    if spec is None:
+        spec = design.routing
+    if spec is None:
+        raise ValueError("design has no routing spec; pass one explicitly")
+    return GlobalRouter(spec, **router_kw).route(design)

@@ -1,0 +1,55 @@
+"""RUDY — Rectangular Uniform wire DensitY (Spindler & Johannes, DATE'07).
+
+The fast congestion estimate used *inside* the placement loop: each net
+smears a demand of ``HPWL x wire_width`` uniformly over its bounding box.
+No routing is performed, so it is cheap enough to refresh every few
+placement iterations; the evaluation router provides the accurate
+post-placement picture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grids import BinGrid
+from repro.wirelength.hpwl import net_bounding_boxes
+
+
+def rudy_map(
+    arrays,
+    cx: np.ndarray,
+    cy: np.ndarray,
+    grid: BinGrid,
+    wire_width: float = 1.0,
+) -> np.ndarray:
+    """Wire-demand density per bin.
+
+    For net ``n`` with bounding box ``w x h`` the demand density inside
+    the box is ``wire_width * (w + h) / (w * h)`` — integrating to the
+    net's HPWL times the wire width.  Degenerate boxes are padded to one
+    bin so flat nets still register demand.
+    """
+    xl, yl, xh, yh = net_bounding_boxes(arrays, cx, cy)
+    counts = np.diff(arrays.net_ptr)
+    active = counts >= 2
+    xl, yl, xh, yh = xl[active], yl[active], xh[active], yh[active]
+    pad_x = np.maximum(grid.bin_w - (xh - xl), 0.0) / 2.0
+    pad_y = np.maximum(grid.bin_h - (yh - yl), 0.0) / 2.0
+    xl -= pad_x
+    xh += pad_x
+    yl -= pad_y
+    yh += pad_y
+    demand = wire_width * ((xh - xl) + (yh - yl))
+    box_area = np.maximum((xh - xl) * (yh - yl), 1e-12)
+    # values are per-unit-area densities; integrating a box recovers its
+    # HPWL * wire_width demand.
+    return grid.rasterize_rects(xl, yl, xh, yh, values=demand / box_area) / grid.bin_area
+
+
+def pin_density_map(arrays, cx: np.ndarray, cy: np.ndarray, grid: BinGrid) -> np.ndarray:
+    """Pins per bin — a proxy for local-routing demand around dense logic."""
+    px, py = arrays.pin_positions(cx, cy)
+    ix, iy = grid.index_of(px, py)
+    out = grid.zeros()
+    np.add.at(out, (ix, iy), 1.0)
+    return out

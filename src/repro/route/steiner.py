@@ -1,0 +1,69 @@
+"""Net decomposition into two-pin connections.
+
+The router needs each multi-pin net broken into tile-to-tile two-pin
+segments.  Degree-2 nets are trivial; degree-3 nets get the optimal
+single Steiner point (the coordinate-wise median); larger nets use a
+Manhattan-distance minimum spanning tree (Prim, O(k^2) vectorized) —
+within 1.5x of the rectilinear Steiner minimum by the classic bound,
+which is accurate enough to rank placements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def manhattan_mst(xs: np.ndarray, ys: np.ndarray):
+    """Edges ``(a, b)`` of a Manhattan MST over the given points."""
+    k = len(xs)
+    if k <= 1:
+        return []
+    in_tree = np.zeros(k, dtype=bool)
+    dist = np.full(k, np.inf)
+    parent = np.full(k, -1, dtype=np.int64)
+    in_tree[0] = True
+    d0 = np.abs(xs - xs[0]) + np.abs(ys - ys[0])
+    dist = np.minimum(dist, d0)
+    parent[:] = 0
+    dist[0] = np.inf
+    edges = []
+    for _ in range(k - 1):
+        nxt = int(np.argmin(np.where(in_tree, np.inf, dist)))
+        edges.append((int(parent[nxt]), nxt))
+        in_tree[nxt] = True
+        d = np.abs(xs - xs[nxt]) + np.abs(ys - ys[nxt])
+        closer = (~in_tree) & (d < dist)
+        dist[closer] = d[closer]
+        parent[closer] = nxt
+        dist[nxt] = np.inf
+    return edges
+
+
+def decompose_net(tile_x: np.ndarray, tile_y: np.ndarray):
+    """Two-pin tile connections covering all of a net's pin tiles.
+
+    Input arrays are pin tile indices; duplicates are removed first.
+    Returns a list of ``(i0, j0, i1, j1)`` tuples (possibly empty when the
+    net fits in one tile).
+    """
+    pts = np.unique(np.stack([tile_x, tile_y], axis=1), axis=0)
+    k = len(pts)
+    if k <= 1:
+        return []
+    xs = pts[:, 0].astype(float)
+    ys = pts[:, 1].astype(float)
+    if k == 2:
+        return [(int(xs[0]), int(ys[0]), int(xs[1]), int(ys[1]))]
+    if k == 3:
+        # Median point is the optimal single Steiner point for 3 pins.
+        sx = int(np.median(xs))
+        sy = int(np.median(ys))
+        out = []
+        for x, y in zip(xs, ys):
+            if int(x) != sx or int(y) != sy:
+                out.append((sx, sy, int(x), int(y)))
+        return out
+    edges = manhattan_mst(xs, ys)
+    return [
+        (int(xs[a]), int(ys[a]), int(xs[b]), int(ys[b])) for a, b in edges
+    ]

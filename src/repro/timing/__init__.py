@@ -1,0 +1,25 @@
+"""Static timing substrate and timing-driven placement hooks.
+
+A deliberately simple but complete STA over the placed netlist: nets are
+lumped RC-ish delays proportional to their half-perimeter, cells carry a
+unit gate delay, sequential boundaries (terminals and registers) anchor
+arrival/required times.  On top of it, :func:`apply_timing_net_weights`
+implements the classical timing-driven placement lever — up-weighting
+nets by criticality so the analytical placer shortens the critical path.
+
+This mirrors how the NTUplace family's timing-driven variants bolt onto
+the same global placer, and gives the library's users a second
+optimization axis beside routability.
+"""
+
+from repro.timing.graph import TimingGraph
+from repro.timing.sta import TimingReport, analyze
+from repro.timing.weighting import apply_timing_net_weights, criticality
+
+__all__ = [
+    "TimingGraph",
+    "TimingReport",
+    "analyze",
+    "apply_timing_net_weights",
+    "criticality",
+]

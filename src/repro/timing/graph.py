@@ -1,0 +1,121 @@
+"""The timing graph: net-driven DAG extraction from the netlist.
+
+Each net with exactly one OUTPUT pin is a *driven* net: a timing arc
+runs from the driver node through the net to every INPUT/BIDIR sink.
+Nets without clear direction (all-BIDIR, as in pure-placement
+benchmarks) fall back to a deterministic convention — the first pin
+drives — so the substrate works on any Bookshelf netlist.  Combinational
+cycles are broken by dropping back-edges found during the DFS
+levelization (reported, not silently ignored).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db import Design, PinDirection
+
+
+@dataclass
+class TimingArc:
+    """One driver->sink arc, annotated with its net."""
+
+    src: int  # node index
+    dst: int  # node index
+    net: int  # net index
+
+
+@dataclass
+class TimingGraph:
+    """Levelized DAG over design nodes."""
+
+    design: Design
+    arcs: list = field(default_factory=list)
+    fanout: dict = field(default_factory=dict)  # src node -> [arc index]
+    fanin: dict = field(default_factory=dict)  # dst node -> [arc index]
+    order: list = field(default_factory=list)  # topological node order
+    dropped_arcs: int = 0  # back-edges removed to break cycles
+
+    @staticmethod
+    def build(design: Design) -> "TimingGraph":
+        g = TimingGraph(design=design)
+        for net in design.nets:
+            if net.degree < 2:
+                continue
+            drivers = [p for p in net.pins if p.direction is PinDirection.OUTPUT]
+            driver = drivers[0] if drivers else net.pins[0]
+            for p in net.pins:
+                if p is driver:
+                    continue
+                if p.direction is PinDirection.OUTPUT:
+                    continue  # multi-driver nets: keep the first driver only
+                arc = TimingArc(src=driver.node, dst=p.node, net=net.index)
+                idx = len(g.arcs)
+                g.arcs.append(arc)
+                g.fanout.setdefault(arc.src, []).append(idx)
+                g.fanin.setdefault(arc.dst, []).append(idx)
+        g._levelize()
+        return g
+
+    # ------------------------------------------------------------------
+    def _levelize(self) -> None:
+        """Topological order; back-edges (cycles) dropped deterministically."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        color = {}
+        order = []
+        drop = set()
+
+        for root in range(len(self.design.nodes)):
+            if color.get(root, WHITE) != WHITE:
+                continue
+            stack = [(root, iter(self.fanout.get(root, [])))]
+            color[root] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for arc_idx in it:
+                    dst = self.arcs[arc_idx].dst
+                    c = color.get(dst, WHITE)
+                    if c == GREY:
+                        drop.add(arc_idx)  # back-edge: break the cycle
+                        continue
+                    if c == WHITE:
+                        color[dst] = GREY
+                        stack.append((dst, iter(self.fanout.get(dst, []))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    order.append(node)
+                    stack.pop()
+        order.reverse()
+        if drop:
+            self.dropped_arcs = len(drop)
+            keep = [i for i in range(len(self.arcs)) if i not in drop]
+            remap = {}
+            new_arcs = []
+            for i in keep:
+                remap[i] = len(new_arcs)
+                new_arcs.append(self.arcs[i])
+            self.arcs = new_arcs
+            self.fanout = {}
+            self.fanin = {}
+            for idx, arc in enumerate(self.arcs):
+                self.fanout.setdefault(arc.src, []).append(idx)
+                self.fanin.setdefault(arc.dst, []).append(idx)
+        self.order = order
+
+    # ------------------------------------------------------------------
+    @property
+    def primary_inputs(self) -> list:
+        """Nodes with no fan-in: fixed terminals and source registers."""
+        return [
+            n for n in range(len(self.design.nodes)) if n not in self.fanin
+        ]
+
+    @property
+    def primary_outputs(self) -> list:
+        """Nodes with no fan-out."""
+        return [
+            n for n in range(len(self.design.nodes)) if n not in self.fanout
+        ]

@@ -1,0 +1,134 @@
+"""Static timing analysis over the placed netlist.
+
+Delay model (placement-stage fidelity, matching what timing-driven
+placers optimize):
+
+* **net delay** — proportional to the net's half-perimeter at the
+  current placement (a lumped-RC surrogate): ``net_delay = alpha * hpwl``;
+* **cell delay** — a fixed gate delay per traversed movable node.
+
+Arrival times propagate forward from primary inputs, required times
+backward from primary outputs against the clock period (default: the
+longest path, i.e. zero worst slack); slack per arc/net follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.timing.graph import TimingGraph
+from repro.wirelength.hpwl import hpwl_per_net
+
+
+@dataclass
+class TimingReport:
+    """Result of one STA pass."""
+
+    arrival: np.ndarray  # per node
+    required: np.ndarray  # per node
+    net_slack: np.ndarray  # per net (min over its arcs; +inf when no arc)
+    critical_path: list  # node indices, input -> output
+    wns: float  # worst negative slack (0 when clock = longest path)
+    clock_period: float
+    dropped_arcs: int = 0
+
+    @property
+    def critical_nets(self) -> list:
+        """Nets with slack within 10% of the worst, most critical first."""
+        finite = np.isfinite(self.net_slack)
+        if not finite.any():
+            return []
+        worst = float(self.net_slack[finite].min())
+        span = max(abs(worst), 1e-12)
+        out = [
+            int(n)
+            for n in np.flatnonzero(finite & (self.net_slack <= worst + 0.1 * span))
+        ]
+        out.sort(key=lambda n: self.net_slack[n])
+        return out
+
+
+def analyze(
+    design,
+    graph: TimingGraph | None = None,
+    *,
+    alpha: float = 1.0,
+    gate_delay: float = 1.0,
+    clock_period: float | None = None,
+) -> TimingReport:
+    """Run STA at the design's current placement."""
+    if graph is None:
+        graph = TimingGraph.build(design)
+    num_nodes = len(design.nodes)
+    num_nets = len(design.nets)
+    arrays = design.pin_arrays()
+    cx, cy = design.pull_centers()
+    net_delay = alpha * hpwl_per_net(arrays, cx, cy)
+
+    arrival = np.zeros(num_nodes)
+    for node in graph.order:
+        for arc_idx in graph.fanin.get(node, []):
+            arc = graph.arcs[arc_idx]
+            cand = arrival[arc.src] + gate_delay + net_delay[arc.net]
+            if cand > arrival[node]:
+                arrival[node] = cand
+
+    longest = float(arrival.max()) if num_nodes else 0.0
+    period = longest if clock_period is None else float(clock_period)
+
+    required = np.full(num_nodes, np.inf)
+    for node in graph.primary_outputs:
+        required[node] = period
+    for node in reversed(graph.order):
+        for arc_idx in graph.fanout.get(node, []):
+            arc = graph.arcs[arc_idx]
+            cand = required[arc.dst] - gate_delay - net_delay[arc.net]
+            if cand < required[node]:
+                required[node] = cand
+    # Unconstrained nodes (unreachable from any PO) get zero-slack-free.
+    required[np.isinf(required)] = period
+
+    net_slack = np.full(num_nets, np.inf)
+    for arc in graph.arcs:
+        slack = required[arc.dst] - (arrival[arc.src] + gate_delay + net_delay[arc.net])
+        if slack < net_slack[arc.net]:
+            net_slack[arc.net] = slack
+
+    slacks = required - arrival
+    wns = float(slacks.min()) if num_nodes else 0.0
+
+    critical_path = _trace_critical_path(graph, arrival, net_delay, gate_delay)
+    return TimingReport(
+        arrival=arrival,
+        required=required,
+        net_slack=net_slack,
+        critical_path=critical_path,
+        wns=wns,
+        clock_period=period,
+        dropped_arcs=graph.dropped_arcs,
+    )
+
+
+def _trace_critical_path(graph, arrival, net_delay, gate_delay) -> list:
+    """Follow max-arrival predecessors from the latest node back to a PI."""
+    if len(arrival) == 0 or not graph.arcs:
+        return []
+    node = int(np.argmax(arrival))
+    path = [node]
+    while True:
+        best_prev = None
+        for arc_idx in graph.fanin.get(node, []):
+            arc = graph.arcs[arc_idx]
+            if abs(
+                arrival[arc.src] + gate_delay + net_delay[arc.net] - arrival[node]
+            ) < 1e-9:
+                best_prev = arc.src
+                break
+        if best_prev is None:
+            break
+        path.append(best_prev)
+        node = best_prev
+    path.reverse()
+    return path

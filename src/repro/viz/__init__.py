@@ -1,0 +1,16 @@
+"""Lightweight, dependency-free visualization.
+
+ASCII heat maps for terminal output (the benchmark harness prints the
+congestion-map figure this way) and an SVG writer for placements and
+per-tile maps (what the examples save to disk).
+"""
+
+from repro.viz.ascii_art import ascii_heatmap, ascii_histogram
+from repro.viz.svg import placement_to_svg, heatmap_to_svg
+
+__all__ = [
+    "ascii_heatmap",
+    "ascii_histogram",
+    "heatmap_to_svg",
+    "placement_to_svg",
+]

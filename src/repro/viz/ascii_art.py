@@ -1,0 +1,55 @@
+"""ASCII rendering of 2-D maps and 1-D series."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+
+
+def ascii_heatmap(
+    grid: np.ndarray,
+    *,
+    vmax: float | None = None,
+    width: int = 64,
+    legend: bool = True,
+) -> str:
+    """Render ``grid[ix, iy]`` (x right, y up) as shaded characters.
+
+    Values are scaled to ``vmax`` (default: the grid maximum); the top
+    output row is the top of the die.
+    """
+    if grid.size == 0:
+        return "(empty map)"
+    data = np.asarray(grid, dtype=float)
+    nx, ny = data.shape
+    if nx > width:  # downsample columns for narrow terminals
+        factor = int(np.ceil(nx / width))
+        pad = (-nx) % factor
+        padded = np.pad(data, ((0, pad), (0, 0)), constant_values=0)
+        data = padded.reshape(-1, factor, ny).max(axis=1)
+        nx = data.shape[0]
+    top = float(vmax) if vmax else float(data.max())
+    if top <= 0:
+        top = 1.0
+    idx = np.clip((data / top) * (len(_SHADES) - 1), 0, len(_SHADES) - 1).astype(int)
+    lines = []
+    for j in range(ny - 1, -1, -1):
+        lines.append("".join(_SHADES[idx[i, j]] for i in range(nx)))
+    if legend:
+        lines.append(f"[scale: ' '=0 .. '@'={top:.3g}]")
+    return "\n".join(lines)
+
+
+def ascii_histogram(values, *, bins: int = 10, width: int = 40, label: str = "") -> str:
+    """A horizontal-bar histogram of ``values``."""
+    vals = np.asarray(list(values), dtype=float)
+    if vals.size == 0:
+        return "(no data)"
+    counts, edges = np.histogram(vals, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = [label] if label else []
+    for c, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(width * c / peak))
+        lines.append(f"{lo:10.3g} - {hi:10.3g} | {bar} {c}")
+    return "\n".join(lines)

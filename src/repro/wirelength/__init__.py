@@ -1,0 +1,28 @@
+"""Wirelength models.
+
+``hpwl`` is the exact half-perimeter wirelength used for reporting.
+``LogSumExp`` and ``WeightedAverage`` are the smooth differentiable
+surrogates minimized by analytical global placement; the weighted-average
+(WA) model is the paper group's contribution — the first model shown to
+bound HPWL more tightly than log-sum-exp at equal smoothing.
+"""
+
+from repro.wirelength.hpwl import hpwl, hpwl_per_net, net_bounding_boxes
+from repro.wirelength.smooth import (
+    LogSumExp,
+    SmoothWirelength,
+    WeightedAverage,
+    make_model,
+)
+from repro.wirelength.check import finite_difference_gradient
+
+__all__ = [
+    "LogSumExp",
+    "SmoothWirelength",
+    "WeightedAverage",
+    "finite_difference_gradient",
+    "hpwl",
+    "hpwl_per_net",
+    "make_model",
+    "net_bounding_boxes",
+]

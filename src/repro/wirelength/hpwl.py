@@ -1,0 +1,54 @@
+"""Exact half-perimeter wirelength (HPWL) over CSR pin arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _nonempty_starts(net_ptr: np.ndarray):
+    counts = np.diff(net_ptr)
+    nonempty = counts > 0
+    return net_ptr[:-1][nonempty], nonempty
+
+
+def hpwl_per_net(arrays, cx: np.ndarray, cy: np.ndarray) -> np.ndarray:
+    """Unweighted HPWL of every net (zeros for empty nets)."""
+    out = np.zeros(arrays.num_nets)
+    if arrays.num_pins == 0:
+        return out
+    px, py = arrays.pin_positions(cx, cy)
+    starts, nonempty = _nonempty_starts(arrays.net_ptr)
+    if len(starts) == 0:
+        return out
+    wx = np.maximum.reduceat(px, starts) - np.minimum.reduceat(px, starts)
+    wy = np.maximum.reduceat(py, starts) - np.minimum.reduceat(py, starts)
+    out[nonempty] = wx + wy
+    return out
+
+
+def hpwl(arrays, cx: np.ndarray, cy: np.ndarray) -> float:
+    """Total weighted HPWL."""
+    return float(np.sum(arrays.net_weight * hpwl_per_net(arrays, cx, cy)))
+
+
+def net_bounding_boxes(arrays, cx: np.ndarray, cy: np.ndarray):
+    """Per-net bounding boxes ``(xl, yl, xh, yh)``; empty nets collapse to 0.
+
+    Used by RUDY congestion estimation and the router's net ordering.
+    """
+    n = arrays.num_nets
+    xl = np.zeros(n)
+    yl = np.zeros(n)
+    xh = np.zeros(n)
+    yh = np.zeros(n)
+    if arrays.num_pins == 0:
+        return xl, yl, xh, yh
+    px, py = arrays.pin_positions(cx, cy)
+    starts, nonempty = _nonempty_starts(arrays.net_ptr)
+    if len(starts) == 0:
+        return xl, yl, xh, yh
+    xl[nonempty] = np.minimum.reduceat(px, starts)
+    xh[nonempty] = np.maximum.reduceat(px, starts)
+    yl[nonempty] = np.minimum.reduceat(py, starts)
+    yh[nonempty] = np.maximum.reduceat(py, starts)
+    return xl, yl, xh, yh

@@ -1,0 +1,158 @@
+"""Smooth differentiable wirelength models (LSE and WA).
+
+Both models approximate per-net ``max`` and ``min`` of pin coordinates with
+smooth functions of a smoothing parameter ``gamma``; smaller ``gamma``
+tracks HPWL more tightly but is harder to optimize.
+
+The weighted-average model for the max side of one net is::
+
+    WA_max(x) = sum(x_i * exp(x_i / gamma)) / sum(exp(x_i / gamma))
+
+and analogously with ``exp(-x/gamma)`` for the min side.  Its error against
+the true max is bounded by ``gamma * ln(k)`` *from below and above in a
+tighter band than log-sum-exp's*, which is the model's theoretical claim —
+``benchmarks/bench_fig4_model_error.py`` reproduces the comparison.
+
+All computations are vectorized over the CSR pin table.  Exponents are
+shifted by the per-net extremum before exponentiation, so the models are
+numerically stable for any coordinate magnitude (the "stable-WA" scheme
+from the TSV placement paper in the source listing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SmoothWirelength:
+    """Base class: holds the CSR pin table and per-pin net expansion."""
+
+    def __init__(self, arrays, num_nodes: int, gamma: float):
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.arrays = arrays
+        self.num_nodes = int(num_nodes)
+        self.gamma = float(gamma)
+        counts = np.diff(arrays.net_ptr)
+        self._active = counts >= 2  # single-pin nets contribute nothing
+        self._starts = arrays.net_ptr[:-1][self._active]
+        self._weights = arrays.net_weight[self._active]
+        # Map each pin of an active net back to its (compacted) net id.
+        active_counts = counts[self._active]
+        self._pin_sel = np.concatenate(
+            [
+                np.arange(s, s + c)
+                for s, c in zip(self._starts, active_counts)
+            ]
+        ).astype(np.int64) if len(self._starts) else np.empty(0, dtype=np.int64)
+        self._pin_net = np.repeat(
+            np.arange(len(self._starts), dtype=np.int64), active_counts
+        )
+        # reduceat indices over the *compacted* pin arrays
+        self._cstarts = np.concatenate([[0], np.cumsum(active_counts)[:-1]]).astype(
+            np.int64
+        ) if len(self._starts) else np.empty(0, dtype=np.int64)
+        self._pin_node = arrays.pin_node[self._pin_sel]
+        self._pin_dx = arrays.pin_dx[self._pin_sel]
+        self._pin_dy = arrays.pin_dy[self._pin_sel]
+
+    # -- per-axis machinery -------------------------------------------
+    def _axis_value_grad(self, p: np.ndarray):
+        """Return (per-net value, per-pin gradient) for one axis."""
+        raise NotImplementedError
+
+    def value_grad(self, cx: np.ndarray, cy: np.ndarray):
+        """Smooth wirelength and its gradient w.r.t. node centres.
+
+        Returns ``(value, grad_x, grad_y)`` with gradients over all
+        ``num_nodes`` nodes (fixed nodes included; the caller masks).
+        """
+        grad_x = np.zeros(self.num_nodes)
+        grad_y = np.zeros(self.num_nodes)
+        if len(self._starts) == 0:
+            return 0.0, grad_x, grad_y
+        px = cx[self._pin_node] + self._pin_dx
+        py = cy[self._pin_node] + self._pin_dy
+        vx, gx = self._axis_value_grad(px)
+        vy, gy = self._axis_value_grad(py)
+        value = float(np.sum(self._weights * (vx + vy)))
+        wpin = self._weights[self._pin_net]
+        np.add.at(grad_x, self._pin_node, wpin * gx)
+        np.add.at(grad_y, self._pin_node, wpin * gy)
+        return value, grad_x, grad_y
+
+    def value(self, cx: np.ndarray, cy: np.ndarray) -> float:
+        if len(self._starts) == 0:
+            return 0.0
+        px = cx[self._pin_node] + self._pin_dx
+        py = cy[self._pin_node] + self._pin_dy
+        vx, _ = self._axis_value_grad(px)
+        vy, _ = self._axis_value_grad(py)
+        return float(np.sum(self._weights * (vx + vy)))
+
+    # -- shared helpers -------------------------------------------------
+    def _net_max(self, p):
+        return np.maximum.reduceat(p, self._cstarts)
+
+    def _net_min(self, p):
+        return np.minimum.reduceat(p, self._cstarts)
+
+    def _net_sum(self, p):
+        return np.add.reduceat(p, self._cstarts)
+
+
+class LogSumExp(SmoothWirelength):
+    """The classical log-sum-exp wirelength model (Naylor patent lineage)."""
+
+    def _axis_value_grad(self, p: np.ndarray):
+        g = self.gamma
+        hi = self._net_max(p)[self._pin_net]
+        lo = self._net_min(p)[self._pin_net]
+        e_pos = np.exp((p - hi) / g)
+        e_neg = np.exp((lo - p) / g)
+        s_pos = self._net_sum(e_pos)
+        s_neg = self._net_sum(e_neg)
+        value = (
+            g * (np.log(s_pos) + np.log(s_neg))
+            + self._net_max(p)
+            - self._net_min(p)
+        )
+        grad = e_pos / s_pos[self._pin_net] - e_neg / s_neg[self._pin_net]
+        return value, grad
+
+
+class WeightedAverage(SmoothWirelength):
+    """The weighted-average (WA) wirelength model."""
+
+    def _axis_value_grad(self, p: np.ndarray):
+        g = self.gamma
+        hi = self._net_max(p)[self._pin_net]
+        lo = self._net_min(p)[self._pin_net]
+        # Max side, shifted by the net max for stability.
+        e_pos = np.exp((p - hi) / g)
+        s_pos = self._net_sum(e_pos)
+        t_pos = self._net_sum(p * e_pos)
+        f_pos = t_pos / s_pos
+        # Min side, shifted by the net min.
+        e_neg = np.exp((lo - p) / g)
+        s_neg = self._net_sum(e_neg)
+        t_neg = self._net_sum(p * e_neg)
+        f_neg = t_neg / s_neg
+        value = f_pos - f_neg
+        sp = s_pos[self._pin_net]
+        tp = t_pos[self._pin_net]
+        sn = s_neg[self._pin_net]
+        tn = t_neg[self._pin_net]
+        grad_pos = e_pos * ((1.0 + p / g) * sp - tp / g) / (sp * sp)
+        grad_neg = e_neg * ((1.0 - p / g) * sn + tn / g) / (sn * sn)
+        return value, grad_pos - grad_neg
+
+
+def make_model(kind: str, arrays, num_nodes: int, gamma: float) -> SmoothWirelength:
+    """Factory: ``"wa"`` (default placer choice) or ``"lse"``."""
+    kind = kind.lower()
+    if kind == "wa":
+        return WeightedAverage(arrays, num_nodes, gamma)
+    if kind == "lse":
+        return LogSumExp(arrays, num_nodes, gamma)
+    raise ValueError(f"unknown wirelength model {kind!r}")

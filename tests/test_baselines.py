@@ -1,0 +1,104 @@
+"""Tests for the baseline placers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import QuadraticConfig, QuadraticPlacer, random_placement, run_baseline_flow
+from repro.benchgen import BenchmarkSpec, make_benchmark
+from repro.db import NodeKind
+
+
+def bench(seed=41, **kw):
+    base = dict(
+        name="b", num_cells=250, num_macros=2, num_fixed_macros=1,
+        num_terminals=12, utilization=0.55, seed=seed,
+    )
+    base.update(kw)
+    return make_benchmark(BenchmarkSpec(**base))
+
+
+class TestRandom:
+    def test_inside_core(self):
+        d = bench()
+        random_placement(d, seed=1)
+        for n in d.nodes:
+            if n.is_movable:
+                assert d.core.contains_rect(n.rect)
+
+    def test_fenced_near_fence(self):
+        d = bench(num_fences=1, fence_level=1, num_cells=300)
+        random_placement(d, seed=1)
+        for n in d.nodes:
+            if n.region is not None and n.is_movable:
+                box = d.regions[n.region].bounding_box
+                assert box.inflated(n.placed_width).contains_point(n.rect.center)
+
+    def test_deterministic(self):
+        d1, d2 = bench(), bench()
+        random_placement(d1, seed=7)
+        random_placement(d2, seed=7)
+        assert d1.hpwl() == d2.hpwl()
+
+
+class TestQuadratic:
+    def test_beats_random(self):
+        d = bench(seed=42)
+        QuadraticPlacer().place(d)
+        quad = d.hpwl()
+        d2 = bench(seed=42)
+        random_placement(d2, seed=0)
+        assert quad < d2.hpwl()
+
+    def test_spreads_cells(self):
+        from repro.density import density_overflow
+
+        d = bench(seed=43)
+        QuadraticPlacer().place(d)
+        assert density_overflow(d, nx=16, ny=16) < 0.6
+
+    def test_hpwl_history_recorded(self):
+        d = bench(seed=44)
+        info = QuadraticPlacer(QuadraticConfig(iterations=4)).place(d)
+        assert info["iterations"] == 4
+        assert len(info["hpwl"]) == 4
+
+    def test_fixed_untouched(self):
+        d = bench(seed=45)
+        before = {n.index: (n.x, n.y) for n in d.nodes if not n.is_movable}
+        QuadraticPlacer().place(d)
+        for idx, (x, y) in before.items():
+            assert (d.nodes[idx].x, d.nodes[idx].y) == (x, y)
+
+    def test_empty_design(self):
+        from repro.db import Design
+        from repro.geometry import Rect
+
+        d = Design("e", core=Rect(0, 0, 10, 10))
+        info = QuadraticPlacer().place(d)
+        assert info["iterations"] == 0
+
+
+class TestBaselineFlow:
+    def test_quadratic_flow_end_to_end(self):
+        d = bench(seed=46)
+        res = run_baseline_flow(d, "quadratic", run_dp=False, route=True)
+        assert res.legal
+        assert res.rc >= 0
+        assert res.hpwl_final > 0
+
+    def test_random_flow_end_to_end(self):
+        d = bench(seed=47)
+        res = run_baseline_flow(d, "random", run_dp=False, route=False)
+        assert res.legal
+
+    def test_unknown_baseline_raises(self):
+        d = bench(seed=48)
+        with pytest.raises(ValueError):
+            run_baseline_flow(d, "martian")
+
+    def test_quadratic_beats_random_flow(self):
+        dq = bench(seed=49)
+        rq = run_baseline_flow(dq, "quadratic", run_dp=False, route=False)
+        dr = bench(seed=49)
+        rr = run_baseline_flow(dr, "random", run_dp=False, route=False)
+        assert rq.hpwl_final < rr.hpwl_final

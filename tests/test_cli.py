@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def bench_dir(tmp_path):
+    out = str(tmp_path / "bench")
+    rc = main(
+        [
+            "generate", "--name", "clitest", "--cells", "150", "--macros", "1",
+            "--seed", "3", "--out", out,
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+class TestGenerate:
+    def test_creates_aux(self, bench_dir):
+        assert os.path.exists(os.path.join(bench_dir, "clitest.aux"))
+
+    def test_suite_generate(self, tmp_path, capsys):
+        out = str(tmp_path / "s")
+        assert main(["generate", "--suite", "rh01", "--out", out]) == 0
+        assert os.path.exists(os.path.join(out, "rh01.aux"))
+        assert "rh01" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_consistent(self, bench_dir, capsys):
+        rc = main(["stats", "--aux", os.path.join(bench_dir, "clitest.aux")])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "consistent" in out
+        assert "#cells" in out
+
+
+class TestPlace:
+    def test_place_and_write(self, bench_dir, tmp_path, capsys):
+        placed = str(tmp_path / "placed")
+        svg = str(tmp_path / "p.svg")
+        rc = main(
+            [
+                "place", "--aux", os.path.join(bench_dir, "clitest.aux"),
+                "--out", placed, "--svg", svg, "--no-dp", "--wirelength-only",
+            ]
+        )
+        assert rc == 0
+        assert os.path.exists(os.path.join(placed, "clitest.aux"))
+        assert os.path.exists(svg)
+        assert "flow result" in capsys.readouterr().out
+
+    def test_place_baseline(self, bench_dir, capsys):
+        rc = main(
+            [
+                "place", "--aux", os.path.join(bench_dir, "clitest.aux"),
+                "--baseline", "random", "--no-route",
+            ]
+        )
+        assert rc == 0
+
+
+class TestRoute:
+    def test_route_scores(self, bench_dir, tmp_path, capsys):
+        placed = str(tmp_path / "placed")
+        main(
+            [
+                "place", "--aux", os.path.join(bench_dir, "clitest.aux"),
+                "--out", placed, "--no-dp", "--no-route", "--wirelength-only",
+            ]
+        )
+        capsys.readouterr()
+        rc = main(["route", "--aux", os.path.join(placed, "clitest.aux"), "--map"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "RC" in out
+        assert "scale" in out  # heat-map legend

@@ -1,0 +1,94 @@
+"""Tests for the design-hierarchy tree."""
+
+import pytest
+
+from repro.db import HierarchyTree
+
+
+class TestEnsure:
+    def test_root_exists(self):
+        t = HierarchyTree()
+        assert t.root.name == ""
+        assert "" in t
+
+    def test_ensure_creates_chain(self):
+        t = HierarchyTree()
+        m = t.ensure("top/cpu/alu")
+        assert m.name == "top/cpu/alu"
+        assert "top" in t and "top/cpu" in t
+
+    def test_ensure_idempotent(self):
+        t = HierarchyTree()
+        a = t.ensure("top/u1")
+        b = t.ensure("top/u1")
+        assert a is b
+
+    def test_parent_child_links(self):
+        t = HierarchyTree()
+        m = t.ensure("top/cpu/alu")
+        assert m.parent.name == "top/cpu"
+        assert m.parent.children["alu"] is m
+
+    def test_local_name_and_depth(self):
+        t = HierarchyTree()
+        m = t.ensure("top/cpu/alu")
+        assert m.local_name == "alu"
+        assert m.depth == 2
+
+
+class TestCells:
+    def test_assign_cell(self):
+        t = HierarchyTree()
+        t.assign_cell(7, "top/u1")
+        assert t.get("top/u1").cells == [7]
+
+    def test_all_cells_covers_subtree(self):
+        t = HierarchyTree()
+        t.assign_cell(1, "top/u1")
+        t.assign_cell(2, "top/u1/x")
+        t.assign_cell(3, "top/u2")
+        assert sorted(t.get("top/u1").all_cells()) == [1, 2]
+        assert sorted(t.get("top").all_cells()) == [1, 2, 3]
+
+    def test_modules_preorder(self):
+        t = HierarchyTree()
+        t.ensure("top/a")
+        t.ensure("top/b")
+        names = [m.name for m in t.modules()]
+        assert names[0] == ""
+        assert "top/a" in names and "top/b" in names
+
+
+class TestQueries:
+    def test_lowest_common_module(self):
+        t = HierarchyTree()
+        t.ensure("top/cpu/alu")
+        t.ensure("top/cpu/fpu")
+        lcm = t.lowest_common_module("top/cpu/alu", "top/cpu/fpu")
+        assert lcm.name == "top/cpu"
+
+    def test_lowest_common_module_disjoint(self):
+        t = HierarchyTree()
+        t.ensure("a/x")
+        t.ensure("b/y")
+        assert t.lowest_common_module("a/x", "b/y").name == ""
+
+    def test_fenced_ancestor_innermost_wins(self):
+        t = HierarchyTree()
+        outer = t.ensure("top/cpu")
+        inner = t.ensure("top/cpu/alu")
+        outer.region = 0
+        inner.region = 1
+        assert t.fenced_ancestor("top/cpu/alu").region == 1
+        assert t.fenced_ancestor("top/cpu/fpu") is None  # not created
+        t.ensure("top/cpu/fpu")
+        assert t.fenced_ancestor("top/cpu/fpu").region == 0
+
+    def test_fenced_ancestor_none(self):
+        t = HierarchyTree()
+        t.ensure("top/u")
+        assert t.fenced_ancestor("top/u") is None
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            HierarchyTree().get("nope")

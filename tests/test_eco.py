@@ -1,0 +1,88 @@
+"""Tests for incremental (ECO) legalization."""
+
+import numpy as np
+import pytest
+
+from repro.db import Design, Node, NodeKind, Row
+from repro.legal import check_legal, eco_legalize, tetris_legalize
+
+
+def legal_design(n_cells=40, seed=0):
+    rng = np.random.default_rng(seed)
+    d = Design("eco")
+    for r in range(8):
+        d.add_row(Row(y=float(r), height=1.0, site_width=0.25, x_min=0.0, num_sites=80))
+    for i in range(n_cells):
+        d.add_node(
+            Node(f"c{i}", 1.0, 1.0, x=float(rng.uniform(0, 18)), y=float(rng.uniform(0, 7)))
+        )
+    tetris_legalize(d)
+    assert check_legal(d).ok
+    return d
+
+
+class TestEco:
+    def test_single_moved_cell_relegalized(self):
+        d = legal_design()
+        node = d.nodes[0]
+        node.x, node.y = 7.13, 3.4  # arbitrary illegal spot
+        res = eco_legalize(d, [0])
+        assert res.ok
+        assert check_legal(d).ok
+        assert res.max_displacement < 5.0  # landed nearby
+
+    def test_others_untouched(self):
+        d = legal_design(seed=1)
+        frozen = {n.index: (n.x, n.y) for n in d.nodes if n.index != 3}
+        d.nodes[3].x = 9.0
+        d.nodes[3].y = 2.5
+        eco_legalize(d, [3])
+        for idx, (x, y) in frozen.items():
+            assert (d.nodes[idx].x, d.nodes[idx].y) == (x, y)
+
+    def test_multiple_changes(self):
+        d = legal_design(seed=2)
+        changed = [0, 5, 9]
+        for i in changed:
+            d.nodes[i].x = 10.0
+            d.nodes[i].y = 4.0
+        res = eco_legalize(d, changed)
+        assert res.ok
+        assert check_legal(d).ok
+        assert len(res.placed) == 3
+
+    def test_added_cell(self):
+        d = legal_design(seed=3)
+        new = d.add_node(Node("added", 1.5, 1.0, x=5.0, y=5.0))
+        res = eco_legalize(d, [new.index])
+        assert res.ok
+        assert check_legal(d).ok
+
+    def test_resized_cell(self):
+        d = legal_design(seed=4)
+        node = d.nodes[2]
+        node.width = 3.0  # grew: current spot likely overlaps now
+        res = eco_legalize(d, [2])
+        assert res.ok
+        assert check_legal(d).ok
+
+    def test_macro_rejected(self):
+        d = legal_design(seed=5)
+        mac = d.add_node(Node("m", 4.0, 3.0, kind=NodeKind.MACRO, x=5.0, y=2.0))
+        res = eco_legalize(d, [mac.index])
+        assert mac.index in res.failed
+
+    def test_impossible_fit_reported(self):
+        d = legal_design(seed=6)
+        huge = d.add_node(Node("huge", 30.0, 1.0, x=0.0, y=0.0))
+        res = eco_legalize(d, [huge.index])
+        assert not res.ok
+        assert huge.index in res.failed
+
+    def test_displacement_accounting(self):
+        d = legal_design(seed=7)
+        d.nodes[1].x += 0.9
+        res = eco_legalize(d, [1])
+        assert res.total_displacement == pytest.approx(
+            sum(dd for _, dd in res.placed)
+        )

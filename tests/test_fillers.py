@@ -1,0 +1,101 @@
+"""Tests for filler insertion/removal."""
+
+import numpy as np
+import pytest
+
+from repro.db import Design, Net, Node, NodeKind, Pin, Row
+from repro.legal import (
+    SubRowMap,
+    check_legal,
+    insert_fillers,
+    remove_fillers,
+    tetris_legalize,
+)
+
+
+def rowed_design(n_cells=12, n_rows=4, sites=40, seed=0):
+    rng = np.random.default_rng(seed)
+    d = Design("t")
+    for r in range(n_rows):
+        d.add_row(Row(y=float(r), height=1.0, site_width=0.25, x_min=0.0, num_sites=sites))
+    for i in range(n_cells):
+        d.add_node(
+            Node(f"c{i}", 1.0, 1.0, x=float(rng.uniform(0, 9)), y=float(rng.uniform(0, 3)))
+        )
+    if n_cells >= 2:
+        d.add_net(Net("n0", pins=[Pin(node=0), Pin(node=1)]))
+    return d
+
+
+class TestInsert:
+    def test_fills_all_gaps(self):
+        d = rowed_design()
+        sm = tetris_legalize(d)
+        added = insert_fillers(d, sm)
+        assert added > 0
+        total_width = sum(
+            n.placed_width for n in d.nodes if n.is_movable
+        )
+        capacity = sum(sr.width for sr in sm.subrows)
+        assert total_width == pytest.approx(capacity)
+
+    def test_still_legal(self):
+        d = rowed_design(seed=1)
+        sm = tetris_legalize(d)
+        insert_fillers(d, sm)
+        assert check_legal(d).ok
+
+    def test_respects_max_width(self):
+        d = rowed_design(n_cells=2, seed=2)
+        sm = tetris_legalize(d)
+        insert_fillers(d, sm, max_width_sites=4)
+        for n in d.nodes:
+            if n.kind is NodeKind.FILLER:
+                assert n.width <= 4 * 0.25 + 1e-9
+
+    def test_fillers_carry_region(self):
+        from repro.db import Region
+        from repro.geometry import Rect
+
+        d = rowed_design(n_cells=0)
+        d.add_region(Region("f", rects=[Rect(0, 0, 10, 2)]))
+        sm = SubRowMap(d)
+        insert_fillers(d, sm)
+        fenced = [n for n in d.nodes if n.kind is NodeKind.FILLER and n.region == 0]
+        assert fenced
+
+    def test_default_submap(self):
+        d = rowed_design(seed=3)
+        tetris_legalize(d)
+        added = insert_fillers(d)  # builds its own map
+        assert added > 0
+        assert check_legal(d).ok
+
+
+class TestRemove:
+    def test_roundtrip(self):
+        d = rowed_design(seed=4)
+        sm = tetris_legalize(d)
+        hp0 = d.hpwl()
+        n0 = len(d.nodes)
+        added = insert_fillers(d, sm)
+        removed = remove_fillers(d)
+        assert removed == added
+        assert len(d.nodes) == n0
+        assert d.hpwl() == pytest.approx(hp0)
+        assert d.validate() == []
+
+    def test_remove_none(self):
+        d = rowed_design(seed=5)
+        assert remove_fillers(d) == 0
+
+    def test_net_indices_remapped(self):
+        d = rowed_design(seed=6)
+        sm = tetris_legalize(d)
+        insert_fillers(d, sm)
+        remove_fillers(d)
+        for net in d.nets:
+            for pin in net.pins:
+                assert d.nodes[pin.node].kind is not NodeKind.FILLER
+        # lookups still work
+        assert d.node("c0").index == d._node_index["c0"]

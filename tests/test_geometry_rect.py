@@ -1,0 +1,143 @@
+"""Tests for repro.geometry.rect."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+
+coords = st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False)
+sizes = st.floats(0.0, 1e3, allow_nan=False, allow_infinity=False)
+
+
+def rects():
+    return st.builds(
+        lambda x, y, w, h: Rect.from_size(x, y, w, h), coords, coords, sizes, sizes
+    )
+
+
+class TestConstruction:
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            Rect(1, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Rect(0, 1, 1, 0)
+
+    def test_degenerate_allowed(self):
+        r = Rect(1, 2, 1, 2)
+        assert r.area == 0
+
+    def test_from_size(self):
+        r = Rect.from_size(1, 2, 3, 4)
+        assert (r.xl, r.yl, r.xh, r.yh) == (1, 2, 4, 6)
+
+    def test_bounding(self):
+        r = Rect.bounding([Point(0, 5), Point(3, 1), Point(-2, 2)])
+        assert (r.xl, r.yl, r.xh, r.yh) == (-2, 1, 3, 5)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+
+class TestProperties:
+    def test_dims(self):
+        r = Rect(0, 0, 4, 2)
+        assert r.width == 4 and r.height == 2 and r.area == 8
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == Point(2, 1)
+
+    def test_half_perimeter(self):
+        assert Rect(0, 0, 3, 4).half_perimeter() == 7
+
+    def test_corners(self):
+        r = Rect(1, 2, 3, 4)
+        assert r.ll == Point(1, 2) and r.ur == Point(3, 4)
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(Point(0, 0))
+        assert not r.contains_point(Point(0, 0), strict=True)
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 9, 9))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(1, 1, 11, 9))
+
+    def test_intersects_strict_excludes_touching(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(1, 0, 2, 1)
+        assert not a.intersects(b)
+        assert a.intersects(b, strict=False)
+
+    def test_intersection_disjoint_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_intersection_overlap(self):
+        r = Rect(0, 0, 2, 2).intersection(Rect(1, 1, 3, 3))
+        assert (r.xl, r.yl, r.xh, r.yh) == (1, 1, 2, 2)
+
+    def test_overlap_area(self):
+        assert Rect(0, 0, 2, 2).overlap_area(Rect(1, 1, 3, 3)) == 1.0
+        assert Rect(0, 0, 1, 1).overlap_area(Rect(5, 5, 6, 6)) == 0.0
+
+    @given(rects(), rects())
+    def test_overlap_symmetry(self, a, b):
+        assert a.overlap_area(b) == pytest.approx(b.overlap_area(a))
+
+    @given(rects(), rects())
+    def test_overlap_bounded(self, a, b):
+        ov = a.overlap_area(b)
+        assert ov <= min(a.area, b.area) + 1e-9
+        assert ov >= 0
+
+    @given(rects(), rects())
+    def test_union_contains_both(self, a, b):
+        u = a.union(b)
+        assert u.contains_rect(a) and u.contains_rect(b)
+
+
+class TestTransforms:
+    def test_inflated(self):
+        r = Rect(0, 0, 2, 2).inflated(1)
+        assert (r.xl, r.yl, r.xh, r.yh) == (-1, -1, 3, 3)
+
+    def test_inflated_asymmetric(self):
+        r = Rect(0, 0, 2, 2).inflated(1, 0.5)
+        assert (r.xl, r.yl, r.xh, r.yh) == (-1, -0.5, 3, 2.5)
+
+    def test_translated(self):
+        r = Rect(0, 0, 1, 1).translated(5, -2)
+        assert (r.xl, r.yl) == (5, -2)
+
+    def test_moved_to_preserves_size(self):
+        r = Rect(3, 4, 7, 6).moved_to(0, 0)
+        assert (r.width, r.height) == (4, 2)
+        assert (r.xl, r.yl) == (0, 0)
+
+    def test_clamp_point_inside_unchanged(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.clamp_point(Point(5, 5)) == Point(5, 5)
+
+    def test_clamp_point_outside(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.clamp_point(Point(-5, 20)) == Point(0, 10)
+
+    def test_clamp_rect_origin_fits(self):
+        core = Rect(0, 0, 10, 10)
+        inner = Rect(9, 9, 11, 11)  # sticks out
+        origin = core.clamp_rect_origin(inner)
+        assert origin == Point(8, 8)
+
+    def test_clamp_rect_origin_too_big_centers(self):
+        core = Rect(0, 0, 10, 10)
+        big = Rect(0, 0, 20, 4)
+        origin = core.clamp_rect_origin(big)
+        assert origin.x == pytest.approx(-5)  # centred
+
+    @given(rects())
+    def test_clamp_point_idempotent(self, r):
+        p = r.clamp_point(Point(1e9, -1e9))
+        assert r.clamp_point(p) == p

@@ -1,0 +1,121 @@
+"""Tests for the routability extensions: look-ahead-router congestion
+estimation and congestion-driven net weighting."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import BenchmarkSpec, make_benchmark
+from repro.gp import (
+    CongestionInflator,
+    apply_congestion_net_weights,
+    congestion_over_boxes,
+    initial_placement,
+)
+
+
+def bench(seed=71, **kw):
+    base = dict(
+        name="x", num_cells=200, num_macros=1, num_fixed_macros=0,
+        num_terminals=8, utilization=0.55, cap_factor=2.0, seed=seed,
+    )
+    base.update(kw)
+    return make_benchmark(BenchmarkSpec(**base))
+
+
+class TestRouterEstimator:
+    def test_router_estimator_map(self):
+        d = bench()
+        initial_placement(d)
+        inf = CongestionInflator(d, estimator="router")
+        cmap = inf.congestion_map(d.pin_arrays(), *d.pull_centers())
+        grid = d.routing.grid
+        assert cmap.shape == (grid.nx, grid.ny)
+        assert cmap.max() > 0
+
+    def test_unknown_estimator_raises(self):
+        d = bench()
+        with pytest.raises(ValueError):
+            CongestionInflator(d, estimator="psychic")
+
+    def test_router_and_rudy_correlate(self):
+        """Both estimators must agree on where the hot region is."""
+        d = bench(congested_band=0.6, cap_factor=1.0)
+        # spread placement so demand is meaningful
+        rng = np.random.default_rng(0)
+        core = d.core
+        for n in d.nodes:
+            if n.is_movable:
+                n.move_center_to(
+                    float(rng.uniform(core.xl + 2, core.xh - 2)),
+                    float(rng.uniform(core.yl + 2, core.yh - 2)),
+                )
+        arrays = d.pin_arrays()
+        cx, cy = d.pull_centers()
+        rudy = CongestionInflator(d, estimator="rudy").congestion_map(arrays, cx, cy)
+        routed = CongestionInflator(d, estimator="router").congestion_map(arrays, cx, cy)
+        # hottest decile of one map should be clearly hot in the other
+        r_hot = rudy >= np.quantile(rudy, 0.9)
+        assert routed[r_hot].mean() > routed.mean()
+
+
+class TestNetWeighting:
+    def spread(self, d, seed=0):
+        rng = np.random.default_rng(seed)
+        core = d.core
+        for n in d.nodes:
+            if n.is_movable:
+                n.move_center_to(
+                    float(rng.uniform(core.xl + 2, core.xh - 2)),
+                    float(rng.uniform(core.yl + 2, core.yh - 2)),
+                )
+
+    def test_congestion_over_boxes_shape(self):
+        d = bench()
+        self.spread(d)
+        cong = np.ones((d.routing.grid.nx, d.routing.grid.ny))
+        levels = congestion_over_boxes(d, cong)
+        assert len(levels) == len(d.nets)
+        active = [n.index for n in d.nets if n.degree >= 2]
+        assert all(levels[i] == pytest.approx(1.0) for i in active)
+
+    def test_weights_raised_only_over_hotspots(self):
+        d = bench()
+        self.spread(d)
+        grid = d.routing.grid
+        cong = np.zeros((grid.nx, grid.ny))
+        cong[:, : grid.ny // 4] = 2.0  # hot bottom band
+        before = [net.weight for net in d.nets]
+        touched = apply_congestion_net_weights(d, cong, threshold=0.8)
+        assert touched > 0
+        for net, w0 in zip(d.nets, before):
+            assert net.weight >= w0
+
+    def test_no_hotspot_no_change(self):
+        d = bench()
+        self.spread(d)
+        cong = np.zeros((d.routing.grid.nx, d.routing.grid.ny))
+        assert apply_congestion_net_weights(d, cong) == 0
+
+    def test_max_weight_cap(self):
+        d = bench()
+        self.spread(d)
+        cong = np.full((d.routing.grid.nx, d.routing.grid.ny), 100.0)
+        for _ in range(5):
+            apply_congestion_net_weights(d, cong, max_weight=3.0)
+        assert max(net.weight for net in d.nets) <= 3.0 + 1e-9
+
+    def test_invalidates_pin_cache(self):
+        d = bench()
+        self.spread(d)
+        a1 = d.pin_arrays()
+        cong = np.full((d.routing.grid.nx, d.routing.grid.ny), 100.0)
+        assert apply_congestion_net_weights(d, cong) > 0
+        a2 = d.pin_arrays()
+        assert a2 is not a1
+        assert a2.net_weight.max() > 1.0
+
+    def test_requires_routing(self):
+        d = bench()
+        d.routing = None
+        with pytest.raises(ValueError):
+            congestion_over_boxes(d, np.zeros((4, 4)))

@@ -1,0 +1,150 @@
+"""End-to-end tests for the global placer."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import BenchmarkSpec, make_benchmark
+from repro.db import Design, NodeKind
+from repro.density import density_overflow
+from repro.gp import GlobalPlacer, GPConfig, fence_violation
+from repro.geometry import Rect
+
+
+def bench(seed=21, cells=300, **kw):
+    spec = BenchmarkSpec(
+        name="t", num_cells=cells, num_macros=2, num_fixed_macros=1,
+        num_terminals=16, utilization=0.6, seed=seed, **kw,
+    )
+    return make_benchmark(spec)
+
+
+def fast_cfg(**kw):
+    base = dict(
+        clustering=False,
+        max_outer_iterations=14,
+        inner_iterations=16,
+        routability=False,
+        optimize_orientations=False,
+    )
+    base.update(kw)
+    return GPConfig(**base)
+
+
+class TestPlacement:
+    def test_overflow_decreases(self):
+        d = bench()
+        report = GlobalPlacer(fast_cfg()).place(d)
+        assert report.num_iterations >= 2
+        first = report.iterations[0].overflow
+        last = report.iterations[-1].overflow
+        assert last < first
+
+    def test_final_positions_inside_core(self):
+        d = bench()
+        GlobalPlacer(fast_cfg()).place(d)
+        core = d.core
+        for n in d.nodes:
+            if n.is_movable:
+                r = n.rect
+                assert r.xl >= core.xl - 1e-6 and r.xh <= core.xh + 1e-6
+                assert r.yl >= core.yl - 1e-6 and r.yh <= core.yh + 1e-6
+
+    def test_beats_random_hpwl(self):
+        d = bench(seed=22)
+        GlobalPlacer(fast_cfg()).place(d)
+        placed = d.hpwl()
+        d2 = bench(seed=22)
+        rng = np.random.default_rng(0)
+        core = d2.core
+        for n in d2.nodes:
+            if n.is_movable:
+                n.move_center_to(
+                    float(rng.uniform(core.xl + 2, core.xh - 2)),
+                    float(rng.uniform(core.yl + 2, core.yh - 2)),
+                )
+        assert placed < 0.7 * d2.hpwl()
+
+    def test_fixed_nodes_untouched(self):
+        d = bench(seed=23)
+        before = {n.index: (n.x, n.y) for n in d.nodes if not n.is_movable}
+        GlobalPlacer(fast_cfg()).place(d)
+        for idx, (x, y) in before.items():
+            assert (d.nodes[idx].x, d.nodes[idx].y) == (x, y)
+
+    def test_deterministic(self):
+        r = []
+        for _ in range(2):
+            d = bench(seed=24)
+            GlobalPlacer(fast_cfg()).place(d)
+            r.append(d.hpwl())
+        assert r[0] == pytest.approx(r[1])
+
+    def test_empty_design(self):
+        d = Design("t", core=Rect(0, 0, 10, 10))
+        report = GlobalPlacer(fast_cfg()).place(d)
+        assert report.num_iterations == 0
+
+    def test_report_trajectory_monotone_overflow_trend(self):
+        d = bench(seed=25)
+        report = GlobalPlacer(fast_cfg(max_outer_iterations=20)).place(d)
+        ovfl = [it.overflow for it in report.iterations]
+        # overall trend must be down (allow local wobble)
+        assert ovfl[-1] <= ovfl[0]
+        assert min(ovfl) == pytest.approx(ovfl[-1], abs=0.1)
+
+
+class TestFences:
+    def test_fenced_cells_end_inside(self):
+        d = bench(seed=26, cells=400, num_fences=1, fence_level=1)
+        GlobalPlacer(fast_cfg(max_outer_iterations=18)).place(d)
+        count, dist = fence_violation(d)
+        assert count == 0
+
+    def test_freeze_macros_keeps_them(self):
+        d = bench(seed=27)
+        GlobalPlacer(fast_cfg()).place(d)
+        macro_pos = {
+            n.index: (n.x, n.y) for n in d.nodes if n.kind is NodeKind.MACRO
+        }
+        GlobalPlacer(fast_cfg(freeze_macros=True, max_outer_iterations=4)).place(
+            d, warm_start=True
+        )
+        for idx, (x, y) in macro_pos.items():
+            assert (d.nodes[idx].x, d.nodes[idx].y) == pytest.approx((x, y))
+
+
+class TestWirelengthModels:
+    @pytest.mark.parametrize("model", ["wa", "lse"])
+    def test_both_models_converge(self, model):
+        d = bench(seed=28)
+        report = GlobalPlacer(fast_cfg(wirelength_model=model)).place(d)
+        assert report.iterations[-1].overflow < report.iterations[0].overflow
+
+
+class TestRoutabilityMode:
+    def test_inflation_engages_on_congested(self):
+        d = bench(seed=29, cells=400, cap_factor=1.0, congested_band=0.5)
+        cfg = fast_cfg(routability=True, max_outer_iterations=20)
+        report = GlobalPlacer(cfg).place(d)
+        assert report.iterations[-1].mean_inflation > 1.0
+
+    def test_routability_off_no_inflation(self):
+        d = bench(seed=29, cells=400, cap_factor=1.0, congested_band=0.5)
+        report = GlobalPlacer(fast_cfg(max_outer_iterations=12)).place(d)
+        assert all(it.mean_inflation == 1.0 for it in report.iterations)
+
+
+class TestClusteredVcycle:
+    def test_clustered_run_matches_quality(self):
+        d1 = bench(seed=30, cells=600)
+        cfg = fast_cfg(max_outer_iterations=20)
+        GlobalPlacer(cfg).place(d1)
+        flat_hpwl = d1.hpwl()
+        d2 = bench(seed=30, cells=600)
+        cfg2 = fast_cfg(
+            clustering=True, cluster_min_nodes=100, max_outer_iterations=20
+        )
+        report = GlobalPlacer(cfg2).place(d2)
+        assert report.coarse_iterations  # V-cycle actually ran
+        assert d2.hpwl() < 1.6 * flat_hpwl
+        assert density_overflow(d2) < 0.35

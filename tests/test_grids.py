@@ -1,0 +1,162 @@
+"""Tests for the bin grid and its rasterization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.grids import BinGrid
+
+
+def grid16():
+    return BinGrid(Rect(0, 0, 16, 8), 16, 8)
+
+
+class TestConstruction:
+    def test_bin_dims(self):
+        g = grid16()
+        assert g.bin_w == 1.0 and g.bin_h == 1.0
+        assert g.num_bins == 128
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            BinGrid(Rect(0, 0, 1, 1), 0, 4)
+
+    def test_degenerate_area_raises(self):
+        with pytest.raises(ValueError):
+            BinGrid(Rect(0, 0, 0, 1), 4, 4)
+
+    def test_with_bin_target_respects_aspect(self):
+        g = BinGrid.with_bin_target(Rect(0, 0, 100, 25), 64)
+        assert g.nx > g.ny
+        assert 32 <= g.nx * g.ny <= 128
+
+
+class TestIndexing:
+    def test_index_of_center(self):
+        g = grid16()
+        ix, iy = g.index_of(3.5, 2.5)
+        assert (ix, iy) == (3, 2)
+
+    def test_index_clamped(self):
+        g = grid16()
+        ix, iy = g.index_of(-5.0, 100.0)
+        assert (ix, iy) == (0, 7)
+
+    def test_bin_rect(self):
+        r = grid16().bin_rect(2, 3)
+        assert (r.xl, r.yl, r.xh, r.yh) == (2, 3, 3, 4)
+
+    def test_centers(self):
+        g = grid16()
+        assert g.centers_x()[0] == 0.5
+        assert g.centers_y()[-1] == 7.5
+
+
+class TestAddRect:
+    def test_exact_cover_single_bin(self):
+        g = grid16()
+        acc = g.zeros()
+        g.add_rect(acc, Rect(2, 3, 3, 4))
+        assert acc[2, 3] == pytest.approx(1.0)
+        assert acc.sum() == pytest.approx(1.0)
+
+    def test_partial_cover_split(self):
+        g = grid16()
+        acc = g.zeros()
+        g.add_rect(acc, Rect(1.5, 1.0, 2.5, 2.0))
+        assert acc[1, 1] == pytest.approx(0.5)
+        assert acc[2, 1] == pytest.approx(0.5)
+
+    def test_value_scaling(self):
+        g = grid16()
+        acc = g.zeros()
+        g.add_rect(acc, Rect(0, 0, 1, 1), value=3.0)
+        assert acc[0, 0] == pytest.approx(3.0)
+
+    def test_outside_ignored(self):
+        g = grid16()
+        acc = g.zeros()
+        g.add_rect(acc, Rect(100, 100, 101, 101))
+        assert acc.sum() == 0
+
+    def test_clipped_at_boundary(self):
+        g = grid16()
+        acc = g.zeros()
+        g.add_rect(acc, Rect(-1, -1, 1, 1))
+        assert acc.sum() == pytest.approx(1.0)  # only in-grid quarter
+
+
+class TestRasterizeRects:
+    def test_matches_add_rect(self):
+        g = grid16()
+        rects = [Rect(0.3, 0.2, 2.7, 1.9), Rect(5, 5, 9.5, 7.5)]
+        acc = g.zeros()
+        for r in rects:
+            g.add_rect(acc, r)
+        vec = g.rasterize_rects(
+            np.array([r.xl for r in rects]),
+            np.array([r.yl for r in rects]),
+            np.array([r.xh for r in rects]),
+            np.array([r.yh for r in rects]),
+        )
+        assert np.allclose(acc, vec)
+
+    def test_empty_input(self):
+        g = grid16()
+        out = g.rasterize_rects(np.array([]), np.array([]), np.array([]), np.array([]))
+        assert out.sum() == 0
+
+    def test_values_weighting(self):
+        g = grid16()
+        out = g.rasterize_rects(
+            np.array([0.0]), np.array([0.0]), np.array([2.0]), np.array([1.0]),
+            values=np.array([4.0]),
+        )
+        # value x area semantics: 2x1 rect at density 4 -> total mass 8
+        assert out.sum() == pytest.approx(8.0)
+        assert out[0, 0] == pytest.approx(4.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0, 14, allow_nan=False),
+                st.floats(0, 6, allow_nan=False),
+                st.floats(0.1, 4, allow_nan=False),
+                st.floats(0.1, 2, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_mass_conservation(self, rects):
+        """Total rasterized mass equals total (in-grid) rect area."""
+        g = grid16()
+        xl = np.array([r[0] for r in rects])
+        yl = np.array([r[1] for r in rects])
+        xh = np.minimum(xl + np.array([r[2] for r in rects]), 16.0)
+        yh = np.minimum(yl + np.array([r[3] for r in rects]), 8.0)
+        out = g.rasterize_rects(xl, yl, xh, yh)
+        assert out.sum() == pytest.approx(float(((xh - xl) * (yh - yl)).sum()), rel=1e-9)
+
+
+class TestBilinear:
+    def test_constant_field(self):
+        g = grid16()
+        field = np.full((16, 8), 3.0)
+        assert g.bilinear_sample(field, 7.3, 2.9) == pytest.approx(3.0)
+
+    def test_linear_field_exact(self):
+        g = grid16()
+        field = np.outer(g.centers_x(), np.ones(8))
+        # A field linear in x is reproduced exactly between bin centres.
+        assert g.bilinear_sample(field, 5.0, 4.0) == pytest.approx(5.0)
+
+    def test_clamps_outside(self):
+        g = grid16()
+        field = np.zeros((16, 8))
+        field[0, 0] = 2.0
+        v = g.bilinear_sample(field, -10.0, -10.0)
+        assert v == pytest.approx(2.0)

@@ -1,0 +1,119 @@
+"""Tests for sub-row construction (obstacles + fence domains)."""
+
+import pytest
+
+from repro.db import Design, Node, NodeKind, Region, Row
+from repro.geometry import Rect
+from repro.legal import SubRowMap
+
+
+def design_with_rows(n_rows=4, sites=40, site_w=0.25):
+    d = Design("t")
+    for r in range(n_rows):
+        d.add_row(Row(y=float(r), height=1.0, site_width=site_w, x_min=0.0, num_sites=sites))
+    return d
+
+
+class TestPlainRows:
+    def test_one_subrow_per_row(self):
+        d = design_with_rows()
+        sm = SubRowMap(d)
+        assert len(sm.subrows) == 4
+        assert all(sr.region is None for sr in sm.subrows)
+
+    def test_widths(self):
+        d = design_with_rows()
+        sm = SubRowMap(d)
+        assert all(sr.width == pytest.approx(10.0) for sr in sm.subrows)
+
+
+class TestObstacles:
+    def test_fixed_node_splits_row(self):
+        d = design_with_rows()
+        d.add_node(Node("blk", 2.0, 1.0, kind=NodeKind.FIXED, x=4.0, y=1.0))
+        sm = SubRowMap(d)
+        row1 = [sr for sr in sm.subrows if sr.y == 1.0]
+        assert len(row1) == 2
+        assert row1[0].x_max == pytest.approx(4.0)
+        assert row1[1].x_min == pytest.approx(6.0)
+
+    def test_movable_macro_blocks(self):
+        d = design_with_rows()
+        d.add_node(Node("mac", 2.0, 2.0, kind=NodeKind.MACRO, x=0.0, y=0.0))
+        sm = SubRowMap(d)
+        rows01 = [sr for sr in sm.subrows if sr.y in (0.0, 1.0)]
+        assert all(sr.x_min >= 2.0 for sr in rows01)
+
+    def test_terminal_ni_does_not_block(self):
+        d = design_with_rows()
+        d.add_node(Node("pad", 2.0, 1.0, kind=NodeKind.TERMINAL_NI, x=4.0, y=1.0))
+        sm = SubRowMap(d)
+        assert len(sm.subrows) == 4
+
+    def test_sliver_dropped(self):
+        d = design_with_rows()
+        # obstacle leaving a sliver thinner than a site
+        d.add_node(Node("blk", 9.9, 1.0, kind=NodeKind.FIXED, x=0.0, y=2.0))
+        sm = SubRowMap(d)
+        assert not [sr for sr in sm.subrows if sr.y == 2.0 and sr.width < 0.25]
+
+    def test_alignment_preserved_after_cut(self):
+        d = design_with_rows()
+        d.add_node(Node("blk", 1.9, 1.0, kind=NodeKind.FIXED, x=4.05, y=1.0))
+        sm = SubRowMap(d)
+        right = [sr for sr in sm.subrows if sr.y == 1.0][-1]
+        # x_min snapped up to the global 0.25 site grid
+        phase = right.x_min / 0.25
+        assert abs(phase - round(phase)) < 1e-9
+        assert right.x_min >= 4.05 + 1.9 - 1e-9
+
+
+class TestFenceDomains:
+    def test_full_rows_become_fence_domain(self):
+        d = design_with_rows()
+        region = d.add_region(Region("f", rects=[Rect(2.0, 1.0, 6.0, 3.0)]))
+        sm = SubRowMap(d)
+        fenced = [sr for sr in sm.subrows if sr.region == region.index]
+        assert {sr.y for sr in fenced} == {1.0, 2.0}
+        assert all(sr.x_min == pytest.approx(2.0) for sr in fenced)
+        open_rows = sm.for_region(None)
+        assert all(
+            not (sr.y in (1.0, 2.0) and 2.0 < (sr.x_min + sr.x_max) / 2 < 6.0)
+            for sr in open_rows
+        )
+
+    def test_partial_row_coverage_excluded_entirely(self):
+        d = design_with_rows()
+        # fence covers only half of row 1's height
+        d.add_region(Region("f", rects=[Rect(2.0, 1.0, 6.0, 1.5)]))
+        sm = SubRowMap(d)
+        assert sm.for_region(0) == []
+        # the covered x span is unusable for open cells too
+        row1_open = [sr for sr in sm.for_region(None) if sr.y == 1.0]
+        assert all(sr.x_max <= 2.0 + 1e-9 or sr.x_min >= 6.0 - 1e-9 for sr in row1_open)
+
+    def test_for_region_filtering(self):
+        d = design_with_rows()
+        d.add_region(Region("f", rects=[Rect(0.0, 0.0, 10.0, 2.0)]))
+        sm = SubRowMap(d)
+        assert len(sm.for_region(0)) == 2
+        assert len(sm.for_region(None)) == 2
+
+    def test_total_capacity(self):
+        d = design_with_rows()
+        sm = SubRowMap(d)
+        assert sm.total_capacity(None) == pytest.approx(40.0)
+
+
+class TestSnapX:
+    def test_snap_inside(self):
+        d = design_with_rows()
+        sm = SubRowMap(d)
+        sr = sm.subrows[0]
+        assert sr.snap_x(3.14, 1.0) == pytest.approx(3.25)
+
+    def test_snap_clamps_right(self):
+        d = design_with_rows()
+        sm = SubRowMap(d)
+        sr = sm.subrows[0]
+        assert sr.snap_x(99.0, 1.0) <= sr.x_max - 1.0 + 1e-9

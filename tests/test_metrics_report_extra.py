@@ -1,0 +1,74 @@
+"""Extra tests for the report/table machinery."""
+
+import math
+
+import pytest
+
+from repro.metrics import comparison_table, format_table, geometric_mean, normalize_rows
+
+
+class TestFormatTable:
+    def test_explicit_columns_subset(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        out = format_table(rows, columns=["c", "a"])
+        header = out.splitlines()[0]
+        assert "c" in header and "a" in header and "b" not in header
+
+    def test_missing_values_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": 9}]
+        out = format_table(rows)
+        assert out.count("9") == 1
+
+    def test_large_numbers_formatted(self):
+        out = format_table([{"x": 1234567.0}])
+        assert "1,234,567" in out
+
+    def test_title_prepended(self):
+        out = format_table([{"a": 1}], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_zero_float(self):
+        assert "0" in format_table([{"a": 0.0}])
+
+
+class TestGeometricMean:
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_skips_nonpositive(self):
+        assert geometric_mean([2.0, 0.0, -1.0, 8.0]) == pytest.approx(4.0)
+
+    def test_all_invalid_nan(self):
+        assert math.isnan(geometric_mean([0.0, -2.0]))
+
+
+class TestNormalizeRows:
+    def test_missing_reference_nan(self):
+        rows = [{"design": "a", "flow": "new", "m": 5.0}]
+        out = normalize_rows(rows, "m", "base")
+        assert math.isnan(out[0]["m_ratio"])
+
+    def test_does_not_mutate_input(self):
+        rows = [{"design": "a", "flow": "base", "m": 5.0}]
+        normalize_rows(rows, "m", "base")
+        assert "m_ratio" not in rows[0]
+
+
+class TestComparisonTable:
+    class FakeResult:
+        def __init__(self, hpwl, rc):
+            self.hpwl_final = hpwl
+            self.rc = rc
+            self.scaled_hpwl = hpwl * (1 + max(0.0, rc - 1))
+
+    def test_ratio_row_math(self):
+        a = {"d1": self.FakeResult(100.0, 0.9)}
+        b = {"d1": self.FakeResult(110.0, 0.9)}
+        out = comparison_table({"A": a, "B": b})
+        assert "1.1" in out  # B/A HPWL ratio
+
+    def test_handles_missing_design(self):
+        a = {"d1": self.FakeResult(100.0, 0.9), "d2": self.FakeResult(50.0, 1.0)}
+        b = {"d1": self.FakeResult(100.0, 0.9)}
+        out = comparison_table({"A": a, "B": b})
+        assert "d2" in out

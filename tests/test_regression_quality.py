@@ -1,0 +1,76 @@
+"""End-to-end quality regression guards.
+
+Loose bounds on the flagship numbers so algorithmic regressions (a
+broken gradient, a mis-scheduled penalty, a legalizer that scatters
+cells) fail CI loudly instead of silently degrading results.  Bounds are
+~25-40% above the measured values at the time of writing — tight enough
+to catch breakage, loose enough to survive benign numeric drift.
+"""
+
+import pytest
+
+from repro.benchgen import make_suite_design
+from repro.flow import FlowConfig, NTUplace4H
+
+
+@pytest.fixture(scope="module")
+def rh01_result():
+    cfg = FlowConfig()
+    cfg.run_dp = False
+    design = make_suite_design("rh01")
+    return NTUplace4H(cfg).run(design), design
+
+
+class TestRh01Quality:
+    def test_legal(self, rh01_result):
+        result, _ = rh01_result
+        assert result.legal
+
+    def test_hpwl_bound(self, rh01_result):
+        # measured ~27.5k at time of writing
+        result, _ = rh01_result
+        assert result.hpwl_final < 38_000
+
+    def test_rc_bound(self, rh01_result):
+        # measured ~0.74-0.85; anything over 1.05 on this mild design
+        # means the placer or router regressed
+        result, _ = rh01_result
+        assert result.rc < 1.05
+
+    def test_legalization_gap_bounded(self, rh01_result):
+        # legalization should cost < 20% HPWL on a mild design
+        result, _ = rh01_result
+        assert result.hpwl_legal < 1.2 * result.hpwl_gp
+
+    def test_runtime_sane(self, rh01_result):
+        # measured ~5s; 60s would mean a complexity regression
+        result, _ = rh01_result
+        assert result.runtime_seconds < 60.0
+
+    def test_overflow_zero(self, rh01_result):
+        result, _ = rh01_result
+        assert result.total_overflow < 50.0
+
+
+class TestCongestedContrast:
+    """The headline property on the congested design, as a regression."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for name, routability in (("4h", True), ("wl", False)):
+            cfg = FlowConfig() if routability else FlowConfig.wirelength_only()
+            cfg.run_dp = False
+            design = make_suite_design("rh02")
+            out[name] = NTUplace4H(cfg).run(design)
+        return out
+
+    def test_routability_reduces_rc(self, results):
+        assert results["4h"].rc <= results["wl"].rc + 0.01
+
+    def test_routability_wins_scaled_hpwl(self, results):
+        assert results["4h"].scaled_hpwl <= results["wl"].scaled_hpwl * 1.02
+
+    def test_hpwl_cost_bounded(self, results):
+        # the routability levers may cost wirelength, but not > 15%
+        assert results["4h"].hpwl_final <= 1.15 * results["wl"].hpwl_final

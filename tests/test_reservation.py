@@ -1,0 +1,80 @@
+"""Tests for whitespace reservation (capacity-aware density targets)."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import BenchmarkSpec, make_benchmark
+from repro.db import Design, Node
+from repro.density import BellDensity
+from repro.geometry import Rect
+from repro.gp import GlobalPlacer, GPConfig
+from repro.grids import BinGrid
+
+
+class TestTargetScale:
+    def grid_and_nodes(self):
+        d = Design("t", core=Rect(0, 0, 16, 16))
+        for i in range(10):
+            d.add_node(Node(f"c{i}", 1, 1, x=float(i), y=1.0))
+        grid = BinGrid(d.core, 8, 8)
+        w, h = d.placed_sizes()
+        return d, grid, w, h
+
+    def test_scale_reduces_target(self):
+        d, grid, w, h = self.grid_and_nodes()
+        full = BellDensity(grid, w, h, d.movable_mask())
+        scale = np.ones((8, 8))
+        scale[:, :4] = 0.5
+        scaled = BellDensity(grid, w, h, d.movable_mask(), target_scale=scale)
+        t_full = full.target()
+        t_scaled = scaled.target()
+        # scaled bins attract proportionally less of the (same) total mass
+        assert t_scaled[:, :4].sum() < t_full[:, :4].sum()
+        # total target still covers the movable area
+        assert t_scaled.sum() >= scaled.areas[d.movable_mask()].sum() - 1e-6
+
+    def test_shape_mismatch_raises(self):
+        d, grid, w, h = self.grid_and_nodes()
+        with pytest.raises(ValueError):
+            BellDensity(grid, w, h, d.movable_mask(), target_scale=np.ones((3, 3)))
+
+    def test_scale_clipped_to_unit(self):
+        d, grid, w, h = self.grid_and_nodes()
+        scale = np.full((8, 8), 5.0)  # silly values get clipped
+        dens = BellDensity(grid, w, h, d.movable_mask(), target_scale=scale)
+        plain = BellDensity(grid, w, h, d.movable_mask())
+        assert np.allclose(dens.free, plain.free)
+
+
+class TestReservationScale:
+    def bench(self, band):
+        return make_benchmark(
+            BenchmarkSpec(
+                name="r", num_cells=200, num_macros=0, num_fixed_macros=0,
+                num_terminals=4, cap_factor=2.0, congested_band=band, seed=23,
+            )
+        )
+
+    def test_uniform_supply_no_reservation(self):
+        d = self.bench(band=0.0)
+        grid = BinGrid(d.core, 16, 16)
+        scale = GlobalPlacer._reservation_scale(d, grid, floor=0.5)
+        assert scale.min() >= 0.99  # nothing starved -> no reservation
+
+    def test_band_gets_reserved(self):
+        d = self.bench(band=0.5)
+        grid = BinGrid(d.core, 16, 16)
+        scale = GlobalPlacer._reservation_scale(d, grid, floor=0.5)
+        mid = scale[:, 6:10]
+        edge = scale[:, :3]
+        assert mid.mean() < edge.mean()
+        assert scale.min() >= 0.5  # floor respected
+
+    def test_gp_runs_with_reservation(self):
+        d = self.bench(band=0.5)
+        cfg = GPConfig(
+            clustering=False, routability=True, whitespace_reservation=True,
+            max_outer_iterations=8, optimize_orientations=False,
+        )
+        report = GlobalPlacer(cfg).place(d)
+        assert report.num_iterations > 0

@@ -1,0 +1,106 @@
+"""Tests for the per-layer routing model and spreading report."""
+
+import numpy as np
+import pytest
+
+from repro.db import Design, Net, Node, Pin
+from repro.geometry import Rect
+from repro.route import (
+    GlobalRouter,
+    LayerSpec,
+    RoutingSpec,
+    spread_over_layers,
+)
+
+M_STACK = [
+    LayerSpec("metal2", "H", 4.0),
+    LayerSpec("metal3", "V", 4.0),
+    LayerSpec("metal4", "H", 8.0),
+    LayerSpec("metal5", "V", 8.0),
+]
+
+
+def routed_design():
+    d = Design("l", core=Rect(0, 0, 16, 16))
+    for k, (x, y) in enumerate(((1, 1), (13, 1), (1, 13), (13, 13))):
+        n = d.add_node(Node(f"c{k}", 0.5, 0.5))
+        n.move_center_to(float(x), float(y))
+    d.add_net(Net("n0", pins=[Pin(node=0), Pin(node=1)]))
+    d.add_net(Net("n1", pins=[Pin(node=0), Pin(node=2)]))
+    d.add_net(Net("n2", pins=[Pin(node=1), Pin(node=3)]))
+    d.routing = RoutingSpec.from_layers(d.core, 8, 8, M_STACK)
+    return d
+
+
+class TestLayerSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerSpec("m", "D", 1.0)
+        with pytest.raises(ValueError):
+            LayerSpec("m", "H", -1.0)
+
+    def test_from_layers_aggregates(self):
+        spec = RoutingSpec.from_layers(Rect(0, 0, 8, 8), 4, 4, M_STACK)
+        assert spec.hcap[0, 0] == pytest.approx(12.0)
+        assert spec.vcap[0, 0] == pytest.approx(12.0)
+        assert len(spec.layers) == 4
+
+    def test_copy_keeps_layers(self):
+        spec = RoutingSpec.from_layers(Rect(0, 0, 8, 8), 4, 4, M_STACK)
+        assert spec.copy().layers == spec.layers
+
+
+class TestSpreading:
+    def test_wirelength_conserved(self):
+        d = routed_design()
+        rr = GlobalRouter(d.routing).route(d)
+        usage = spread_over_layers(rr.graph)
+        h_total = sum(u.wirelength for u in usage if u.layer.direction == "H")
+        v_total = sum(u.wirelength for u in usage if u.layer.direction == "V")
+        assert h_total == pytest.approx(float(rr.graph.use_e.sum()))
+        assert v_total == pytest.approx(float(rr.graph.use_n.sum()))
+
+    def test_share_proportional_to_capacity(self):
+        d = routed_design()
+        rr = GlobalRouter(d.routing).route(d)
+        usage = {u.layer.name: u for u in spread_over_layers(rr.graph)}
+        # metal4 has 2x metal2's capacity -> 2x the assigned length
+        assert usage["metal4"].wirelength == pytest.approx(
+            2 * usage["metal2"].wirelength
+        )
+
+    def test_peak_utilization_equal_across_same_direction(self):
+        """Proportional spreading preserves utilization per direction."""
+        d = routed_design()
+        rr = GlobalRouter(d.routing).route(d)
+        usage = [u for u in spread_over_layers(rr.graph) if u.layer.direction == "H"]
+        assert usage[0].peak_utilization == pytest.approx(usage[1].peak_utilization)
+
+    def test_no_layers_raises(self):
+        d = routed_design()
+        d.routing = RoutingSpec.uniform(d.core, 8, 8)
+        rr = GlobalRouter(d.routing).route(d)
+        with pytest.raises(ValueError):
+            spread_over_layers(rr.graph)
+
+    def test_as_row(self):
+        d = routed_design()
+        rr = GlobalRouter(d.routing).route(d)
+        row = spread_over_layers(rr.graph)[0].as_row()
+        assert {"layer", "dir", "capacity", "wirelength", "peak_util"} <= set(row)
+
+
+class TestLayeredIO:
+    def test_route_file_roundtrip_aggregates(self, tmp_path):
+        from repro.io import read_bookshelf, write_bookshelf
+        from repro.db import Row
+
+        d = routed_design()
+        d.add_row(Row(y=0, height=1, site_width=0.25, x_min=0, num_sites=64))
+        aux = write_bookshelf(d, str(tmp_path))
+        text = open(str(tmp_path / "l.route")).read()
+        assert "Grid : 8 8 4" in text
+        assert len(text.split("HorizontalCapacity :")[1].splitlines()[0].split()) == 2
+        d2 = read_bookshelf(aux)
+        assert np.allclose(d2.routing.hcap, d.routing.hcap)
+        assert np.allclose(d2.routing.vcap, d.routing.vcap)

@@ -1,0 +1,79 @@
+"""Tests for the A* maze router."""
+
+import numpy as np
+import pytest
+
+from repro.route.maze import maze_route, _path_to_runs
+
+
+def uniform(nx=8, ny=8, value=1.0):
+    return np.full((nx - 1, ny), value), np.full((nx, ny - 1), value)
+
+
+class TestMaze:
+    def test_straight_line(self):
+        ce, cn = uniform()
+        cost, runs = maze_route(ce, cn, (1, 2), (6, 2), bend_cost=0.0)
+        assert cost == pytest.approx(5.0)
+        assert runs == [("H", 2, 1, 6)]
+
+    def test_manhattan_optimal_uniform(self):
+        ce, cn = uniform()
+        cost, runs = maze_route(ce, cn, (0, 0), (5, 6), bend_cost=0.0)
+        assert cost == pytest.approx(11.0)
+
+    def test_same_tile(self):
+        ce, cn = uniform()
+        cost, runs = maze_route(ce, cn, (3, 3), (3, 3))
+        assert cost == 0.0
+        assert runs == []
+
+    def test_detours_around_wall(self):
+        ce, cn = uniform()
+        # wall: block vertical edges along row j=3 except column 7
+        cn[:7, 3] = 1e9
+        cost, runs = maze_route(ce, cn, (0, 0), (0, 7), bend_cost=0.0)
+        assert cost < 1e6
+        # must pass through column 7
+        cols = {line for kind, line, _, _ in runs if kind == "V"}
+        assert 7 in cols
+
+    def test_window_restricts(self):
+        ce, cn = uniform()
+        cn[:7, 3] = 1e9  # wall forces detour via column 7
+        cost, runs = maze_route(ce, cn, (0, 0), (0, 7), window=(0, 0, 3, 7))
+        # detour not allowed inside window -> expensive edge used
+        assert cost >= 1e6 or runs is None
+
+    def test_bend_cost_prefers_straight(self):
+        ce, cn = uniform()
+        cost0, runs0 = maze_route(ce, cn, (0, 0), (5, 5), bend_cost=0.0)
+        cost1, runs1 = maze_route(ce, cn, (0, 0), (5, 5), bend_cost=0.5)
+        assert len(runs1) <= 3  # one bend only with bend penalty
+
+    def test_congestion_aware(self):
+        ce, cn = uniform()
+        ce[:, 0] = 50.0  # bottom row expensive
+        cost, runs = maze_route(ce, cn, (0, 0), (7, 0), bend_cost=0.0)
+        # cheaper to go up, across, and back down
+        assert cost < 50 * 7
+        assert any(kind == "V" for kind, *_ in runs)
+
+
+class TestPathToRuns:
+    def test_single_h(self):
+        runs = _path_to_runs([(0, 0), (1, 0), (2, 0)])
+        assert runs == [("H", 0, 0, 2)]
+
+    def test_l_shape(self):
+        runs = _path_to_runs([(0, 0), (1, 0), (1, 1), (1, 2)])
+        assert runs == [("H", 0, 0, 1), ("V", 1, 0, 2)]
+
+    def test_zigzag(self):
+        path = [(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]
+        runs = _path_to_runs(path)
+        assert len(runs) == 4
+
+    def test_reverse_direction(self):
+        runs = _path_to_runs([(5, 0), (4, 0), (3, 0)])
+        assert runs == [("H", 0, 3, 5)]

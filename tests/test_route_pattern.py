@@ -1,0 +1,121 @@
+"""Tests for pattern routing (L/Z) and prefix-cost machinery."""
+
+import numpy as np
+import pytest
+
+from repro.route.pattern import (
+    best_z_route,
+    h_run_cost,
+    l_route_costs,
+    l_route_runs,
+    prefix_costs,
+    runs_cost,
+    v_run_cost,
+)
+
+
+def uniform_costs(nx=8, ny=8, value=1.0):
+    return np.full((nx - 1, ny), value), np.full((nx, ny - 1), value)
+
+
+class TestPrefixCosts:
+    def test_h_run(self):
+        ce, cn = uniform_costs()
+        pe, pn = prefix_costs(ce, cn)
+        assert h_run_cost(pe, 3, 1, 5) == pytest.approx(4.0)
+        assert h_run_cost(pe, 3, 5, 1) == pytest.approx(4.0)  # order-free
+
+    def test_v_run(self):
+        ce, cn = uniform_costs()
+        pe, pn = prefix_costs(ce, cn)
+        assert v_run_cost(pn, 2, 0, 7) == pytest.approx(7.0)
+
+    def test_nonuniform(self):
+        ce, cn = uniform_costs()
+        ce[2, 0] = 10.0
+        pe, pn = prefix_costs(ce, cn)
+        assert h_run_cost(pe, 0, 0, 4) == pytest.approx(3 + 10)
+
+    def test_zero_length_run(self):
+        ce, cn = uniform_costs()
+        pe, pn = prefix_costs(ce, cn)
+        assert h_run_cost(pe, 0, 3, 3) == 0.0
+
+
+class TestLRoutes:
+    def test_costs_equal_uniform(self):
+        ce, cn = uniform_costs()
+        pe, pn = prefix_costs(ce, cn)
+        chv, cvh = l_route_costs(pe, pn, np.array([1]), np.array([1]), np.array([5]), np.array([6]))
+        assert chv[0] == pytest.approx(cvh[0]) == pytest.approx(4 + 5)
+
+    def test_congestion_steers_choice(self):
+        ce, cn = uniform_costs()
+        ce[:, 1] = 100.0  # row 1 horizontal edges expensive
+        pe, pn = prefix_costs(ce, cn)
+        chv, cvh = l_route_costs(pe, pn, np.array([0]), np.array([1]), np.array([5]), np.array([6]))
+        assert cvh[0] < chv[0]  # route vertically first, then along row 6
+
+    def test_runs_degenerate_dropped(self):
+        runs = l_route_runs(2, 3, 2, 7, True)  # same column
+        assert runs == [("V", 2, 3, 7)]
+        runs = l_route_runs(2, 3, 6, 3, False)  # same row
+        assert runs == [("H", 3, 2, 6)]
+
+    def test_runs_hv_vs_vh(self):
+        hv = l_route_runs(1, 1, 4, 5, True)
+        assert hv == [("H", 1, 1, 4), ("V", 4, 1, 5)]
+        vh = l_route_runs(1, 1, 4, 5, False)
+        assert vh == [("V", 1, 1, 5), ("H", 5, 1, 4)]
+
+    def test_runs_cost_consistency(self):
+        ce, cn = uniform_costs()
+        ce[3, 1] = 7.0
+        pe, pn = prefix_costs(ce, cn)
+        chv, _ = l_route_costs(pe, pn, np.array([1]), np.array([1]), np.array([5]), np.array([6]))
+        runs = l_route_runs(1, 1, 5, 6, True)
+        assert runs_cost(pe, pn, runs) == pytest.approx(float(chv[0]))
+
+
+class TestZRoutes:
+    def test_z_never_worse_than_l_uniform(self):
+        ce, cn = uniform_costs()
+        pe, pn = prefix_costs(ce, cn)
+        z_cost, z_runs = best_z_route(pe, pn, 1, 1, 6, 6)
+        chv, cvh = l_route_costs(pe, pn, np.array([1]), np.array([1]), np.array([6]), np.array([6]))
+        assert z_cost <= min(float(chv[0]), float(cvh[0])) + 1e-9
+
+    def test_z_avoids_blocked_corner(self):
+        ce, cn = uniform_costs()
+        cn[6, :] = 100.0  # vertical edges in column 6 blocked
+        cn[1, :] = 100.0  # and column 1
+        pe, pn = prefix_costs(ce, cn)
+        cost, runs = best_z_route(pe, pn, 1, 1, 6, 6)
+        # must bend at an intermediate column, 3 runs
+        assert len(runs) == 3
+        assert cost < 100
+
+    def test_z_falls_back_to_l_when_thin(self):
+        ce, cn = uniform_costs()
+        pe, pn = prefix_costs(ce, cn)
+        cost, runs = best_z_route(pe, pn, 2, 2, 3, 6)  # adjacent columns: no HVH bend room, VHV allowed
+        assert runs is not None
+        assert runs_cost(pe, pn, runs) == pytest.approx(cost)
+
+    def test_z_straight_line(self):
+        ce, cn = uniform_costs()
+        pe, pn = prefix_costs(ce, cn)
+        cost, runs = best_z_route(pe, pn, 1, 3, 6, 3)
+        assert runs == [("H", 3, 1, 6)]
+        assert cost == pytest.approx(5.0)
+
+    def test_z_runs_cover_endpoints(self):
+        ce, cn = uniform_costs(12, 12)
+        rng = np.random.default_rng(3)
+        ce *= rng.uniform(0.5, 3.0, ce.shape)
+        cn *= rng.uniform(0.5, 3.0, cn.shape)
+        pe, pn = prefix_costs(ce, cn)
+        cost, runs = best_z_route(pe, pn, 2, 3, 9, 8)
+        # walk the runs: they must form a connected path from start to goal
+        assert runs[0][0] in "HV"
+        assert runs_cost(pe, pn, runs) == pytest.approx(cost)

@@ -1,0 +1,75 @@
+"""Tests for RUDY and pin-density congestion estimation."""
+
+import numpy as np
+import pytest
+
+from repro.db import Design, Net, Node, Pin
+from repro.geometry import Rect
+from repro.grids import BinGrid
+from repro.route import pin_density_map, rudy_map
+
+
+def two_pin_design(p0, p1, core=16.0):
+    d = Design("t", core=Rect(0, 0, core, core))
+    a = d.add_node(Node("a", 0.5, 0.5))
+    a.move_center_to(*p0)
+    b = d.add_node(Node("b", 0.5, 0.5))
+    b.move_center_to(*p1)
+    d.add_net(Net("n", pins=[Pin(node=0), Pin(node=1)]))
+    return d
+
+
+class TestRudy:
+    def test_total_demand_is_hpwl(self):
+        d = two_pin_design((2, 2), (10, 6))
+        grid = BinGrid(d.core, 8, 8)
+        arrays = d.pin_arrays()
+        cx, cy = d.pull_centers()
+        m = rudy_map(arrays, cx, cy, grid)
+        total = m.sum() * grid.bin_area
+        assert total == pytest.approx(8 + 4, rel=1e-6)
+
+    def test_demand_confined_to_bbox(self):
+        d = two_pin_design((2, 2), (6, 6))
+        grid = BinGrid(d.core, 8, 8)
+        arrays = d.pin_arrays()
+        cx, cy = d.pull_centers()
+        m = rudy_map(arrays, cx, cy, grid)
+        assert m[7, 7] == 0.0
+        assert m[1, 1] > 0
+
+    def test_degenerate_net_padded(self):
+        """A zero-height net still deposits its demand."""
+        d = two_pin_design((2, 4), (10, 4))
+        grid = BinGrid(d.core, 8, 8)
+        arrays = d.pin_arrays()
+        cx, cy = d.pull_centers()
+        m = rudy_map(arrays, cx, cy, grid)
+        assert m.sum() * grid.bin_area == pytest.approx(8.0 + grid.bin_h, rel=1e-6)
+
+    def test_wire_width_scales(self):
+        d = two_pin_design((2, 2), (10, 6))
+        grid = BinGrid(d.core, 8, 8)
+        arrays = d.pin_arrays()
+        cx, cy = d.pull_centers()
+        m1 = rudy_map(arrays, cx, cy, grid, wire_width=1.0)
+        m2 = rudy_map(arrays, cx, cy, grid, wire_width=2.0)
+        assert np.allclose(m2, 2 * m1)
+
+    def test_single_pin_nets_skipped(self):
+        d = Design("t", core=Rect(0, 0, 16, 16))
+        d.add_node(Node("a", 1, 1, x=3, y=3))
+        d.add_net(Net("n", pins=[Pin(node=0)]))
+        grid = BinGrid(d.core, 8, 8)
+        m = rudy_map(d.pin_arrays(), *d.pull_centers(), grid)
+        assert m.sum() == 0.0
+
+
+class TestPinDensity:
+    def test_counts_pins(self):
+        d = two_pin_design((2, 2), (10, 6))
+        grid = BinGrid(d.core, 8, 8)
+        m = pin_density_map(d.pin_arrays(), *d.pull_centers(), grid)
+        assert m.sum() == 2.0
+        assert m[1, 1] == 1.0
+        assert m[5, 3] == 1.0

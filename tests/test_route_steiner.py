@@ -1,0 +1,109 @@
+"""Tests for net decomposition (MST / Steiner)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.route import decompose_net, manhattan_mst
+
+
+def mst_length(xs, ys):
+    return sum(
+        abs(xs[a] - xs[b]) + abs(ys[a] - ys[b]) for a, b in manhattan_mst(xs, ys)
+    )
+
+
+class TestMST:
+    def test_two_points_single_edge(self):
+        edges = manhattan_mst(np.array([0.0, 3.0]), np.array([0.0, 4.0]))
+        assert edges == [(0, 1)]
+
+    def test_empty_and_single(self):
+        assert manhattan_mst(np.array([]), np.array([])) == []
+        assert manhattan_mst(np.array([1.0]), np.array([1.0])) == []
+
+    def test_collinear_chain(self):
+        xs = np.array([0.0, 10.0, 5.0, 2.0])
+        ys = np.zeros(4)
+        assert mst_length(xs, ys) == pytest.approx(10.0)
+
+    def test_spanning(self):
+        rng = np.random.default_rng(0)
+        xs = rng.uniform(0, 10, 12)
+        ys = rng.uniform(0, 10, 12)
+        edges = manhattan_mst(xs, ys)
+        assert len(edges) == 11
+        # connected: union-find check
+        parent = list(range(12))
+
+        def find(a):
+            while parent[a] != a:
+                a = parent[a]
+            return a
+
+        for a, b in edges:
+            parent[find(a)] = find(b)
+        assert len({find(i) for i in range(12)}) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)),
+            min_size=2,
+            max_size=10,
+            unique=True,
+        )
+    )
+    def test_mst_no_longer_than_star(self, pts):
+        """MST length must not exceed the star topology from any hub."""
+        xs = np.array([p[0] for p in pts], dtype=float)
+        ys = np.array([p[1] for p in pts], dtype=float)
+        mst = mst_length(xs, ys)
+        for hub in range(len(pts)):
+            star = sum(
+                abs(xs[hub] - xs[i]) + abs(ys[hub] - ys[i]) for i in range(len(pts))
+            )
+            assert mst <= star + 1e-9
+
+
+class TestDecompose:
+    def test_single_tile_empty(self):
+        assert decompose_net(np.array([3, 3]), np.array([4, 4])) == []
+
+    def test_two_tiles(self):
+        segs = decompose_net(np.array([0, 5]), np.array([0, 2]))
+        assert segs == [(0, 0, 5, 2)]
+
+    def test_duplicates_removed(self):
+        segs = decompose_net(np.array([0, 0, 5]), np.array([0, 0, 2]))
+        assert len(segs) == 1
+
+    def test_three_pins_median_steiner(self):
+        # L-shaped pins: steiner point at the median (5, 0)
+        segs = decompose_net(np.array([0, 5, 5]), np.array([0, 0, 7]))
+        assert len(segs) == 2
+        for i0, j0, i1, j1 in segs:
+            assert (i0, j0) == (5, 0)
+
+    def test_three_pins_no_self_edge(self):
+        # Steiner point coincides with one pin
+        segs = decompose_net(np.array([0, 5, 9]), np.array([0, 0, 0]))
+        assert all((a, b) != (c, d) for a, b, c, d in segs)
+        assert len(segs) == 2
+
+    def test_large_net_tree_size(self):
+        rng = np.random.default_rng(1)
+        k = 9
+        segs = decompose_net(rng.integers(0, 20, k), rng.integers(0, 20, k))
+        # MST over <=9 unique points: <= 8 edges, >= 1
+        assert 1 <= len(segs) <= 8
+
+    def test_covers_all_tiles(self):
+        """Every distinct pin tile must appear in some segment."""
+        tx = np.array([1, 4, 9, 9])
+        ty = np.array([1, 8, 2, 8])
+        segs = decompose_net(tx, ty)
+        touched = {(a, b) for a, b, _, _ in segs} | {(c, d) for _, _, c, d in segs}
+        for t in zip(tx, ty):
+            assert tuple(t) in touched

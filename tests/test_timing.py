@@ -1,0 +1,204 @@
+"""Tests for the timing substrate (graph, STA, weighting)."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import BenchmarkSpec, make_benchmark
+from repro.db import Design, Net, Node, Pin, PinDirection
+from repro.geometry import Rect
+from repro.timing import (
+    TimingGraph,
+    analyze,
+    apply_timing_net_weights,
+    criticality,
+)
+
+
+def chain_design(lengths=(10.0, 5.0)):
+    """a --n0--> b --n1--> c with given net HPWLs (1-D placement)."""
+    d = Design("chain", core=Rect(0, 0, 100, 100))
+    xs = [0.0]
+    for L in lengths:
+        xs.append(xs[-1] + L)
+    names = "abcdefgh"
+    for k, x in enumerate(xs):
+        node = d.add_node(Node(names[k], 1, 1))
+        node.move_center_to(x, 50.0)
+    for j in range(len(lengths)):
+        d.add_net(
+            Net(
+                f"n{j}",
+                pins=[
+                    Pin(node=j, direction=PinDirection.OUTPUT),
+                    Pin(node=j + 1, direction=PinDirection.INPUT),
+                ],
+            )
+        )
+    return d
+
+
+class TestGraph:
+    def test_chain_arcs(self):
+        g = TimingGraph.build(chain_design())
+        assert len(g.arcs) == 2
+        assert g.primary_inputs == [0]
+        assert g.primary_outputs == [2]
+        assert g.dropped_arcs == 0
+
+    def test_topological_order(self):
+        g = TimingGraph.build(chain_design((1.0, 1.0, 1.0)))
+        order = {n: i for i, n in enumerate(g.order)}
+        for arc in g.arcs:
+            assert order[arc.src] < order[arc.dst]
+
+    def test_cycle_broken(self):
+        d = Design("cyc", core=Rect(0, 0, 10, 10))
+        for k in range(2):
+            d.add_node(Node(f"c{k}", 1, 1, x=k * 2.0, y=1.0))
+        d.add_net(Net("f", pins=[Pin(node=0, direction=PinDirection.OUTPUT),
+                                 Pin(node=1, direction=PinDirection.INPUT)]))
+        d.add_net(Net("b", pins=[Pin(node=1, direction=PinDirection.OUTPUT),
+                                 Pin(node=0, direction=PinDirection.INPUT)]))
+        g = TimingGraph.build(d)
+        assert g.dropped_arcs == 1
+        assert len(g.arcs) == 1
+
+    def test_bidir_fallback_first_pin_drives(self):
+        d = Design("bd", core=Rect(0, 0, 10, 10))
+        d.add_node(Node("a", 1, 1))
+        d.add_node(Node("b", 1, 1))
+        d.add_net(Net("n", pins=[Pin(node=1), Pin(node=0)]))
+        g = TimingGraph.build(d)
+        assert g.arcs[0].src == 1
+
+    def test_fanout_tree(self):
+        d = Design("fan", core=Rect(0, 0, 10, 10))
+        for k in range(4):
+            d.add_node(Node(f"c{k}", 1, 1, x=float(k), y=1.0))
+        d.add_net(
+            Net(
+                "n",
+                pins=[Pin(node=0, direction=PinDirection.OUTPUT)]
+                + [Pin(node=k, direction=PinDirection.INPUT) for k in (1, 2, 3)],
+            )
+        )
+        g = TimingGraph.build(d)
+        assert len(g.arcs) == 3
+        assert all(a.src == 0 for a in g.arcs)
+
+
+class TestSTA:
+    def test_chain_arrival(self):
+        d = chain_design((10.0, 5.0))
+        rep = analyze(d, alpha=1.0, gate_delay=1.0)
+        # arrival(c) = (1 + 10) + (1 + 5)
+        assert rep.arrival[2] == pytest.approx(17.0)
+        assert rep.wns == pytest.approx(0.0)  # default clock = longest path
+
+    def test_required_and_slack(self):
+        d = chain_design((10.0, 5.0))
+        rep = analyze(d, clock_period=20.0)
+        assert rep.wns == pytest.approx(3.0)
+        assert rep.net_slack[0] == pytest.approx(3.0)
+        assert rep.net_slack[1] == pytest.approx(3.0)
+
+    def test_negative_slack(self):
+        d = chain_design((10.0, 5.0))
+        rep = analyze(d, clock_period=10.0)
+        assert rep.wns == pytest.approx(-7.0)
+
+    def test_critical_path_traced(self):
+        d = chain_design((10.0, 5.0, 2.0))
+        rep = analyze(d)
+        assert rep.critical_path == [0, 1, 2, 3]
+
+    def test_critical_nets_ordering(self):
+        d = Design("y", core=Rect(0, 0, 100, 100))
+        for k, x in enumerate((0.0, 30.0, 2.0)):
+            node = d.add_node(Node(f"c{k}", 1, 1))
+            node.move_center_to(x, 50)
+        d.add_net(Net("long", pins=[Pin(node=0, direction=PinDirection.OUTPUT),
+                                    Pin(node=1, direction=PinDirection.INPUT)]))
+        d.add_net(Net("short", pins=[Pin(node=0, direction=PinDirection.OUTPUT),
+                                     Pin(node=2, direction=PinDirection.INPUT)]))
+        rep = analyze(d)
+        crit = rep.critical_nets
+        assert crit and crit[0] == d.net("long").index
+
+    def test_placement_dependence(self):
+        """Moving cells closer must reduce the longest path."""
+        d = chain_design((10.0, 5.0))
+        before = analyze(d).arrival.max()
+        d.node("b").move_center_to(1.0, 50.0)
+        d.node("c").move_center_to(2.0, 50.0)
+        after = analyze(d).arrival.max()
+        assert after < before
+
+    def test_benchmark_designs_analyzable(self):
+        d = make_benchmark(
+            BenchmarkSpec(name="t", num_cells=150, num_macros=1, seed=13)
+        )
+        rep = analyze(d)
+        assert np.isfinite(rep.arrival).all()
+        assert rep.clock_period > 0
+
+
+class TestWeighting:
+    def test_criticality_range(self):
+        d = chain_design((10.0, 5.0))
+        rep = analyze(d, clock_period=20.0)
+        c = criticality(rep)
+        assert (0 <= c).all() and (c <= 1).all()
+
+    def test_critical_net_gets_weight(self):
+        d = Design("w", core=Rect(0, 0, 100, 100))
+        for k, x in enumerate((0.0, 40.0, 1.0)):
+            node = d.add_node(Node(f"c{k}", 1, 1))
+            node.move_center_to(x, 50)
+        d.add_net(Net("long", pins=[Pin(node=0, direction=PinDirection.OUTPUT),
+                                    Pin(node=1, direction=PinDirection.INPUT)]))
+        d.add_net(Net("short", pins=[Pin(node=0, direction=PinDirection.OUTPUT),
+                                     Pin(node=2, direction=PinDirection.INPUT)]))
+        touched = apply_timing_net_weights(d)
+        assert touched >= 1
+        assert d.net("long").weight > d.net("short").weight
+
+    def test_max_weight_cap(self):
+        d = chain_design((10.0, 1.0))
+        for _ in range(8):
+            apply_timing_net_weights(d, max_weight=3.0)
+        assert max(net.weight for net in d.nets) <= 3.0 + 1e-9
+
+    def test_invalidates_cache(self):
+        # fork with unequal branches: the long branch is critical
+        d = Design("inv", core=Rect(0, 0, 100, 100))
+        for k, x in enumerate((0.0, 40.0, 1.0)):
+            node = d.add_node(Node(f"c{k}", 1, 1))
+            node.move_center_to(x, 50)
+        d.add_net(Net("long", pins=[Pin(node=0, direction=PinDirection.OUTPUT),
+                                    Pin(node=1, direction=PinDirection.INPUT)]))
+        d.add_net(Net("short", pins=[Pin(node=0, direction=PinDirection.OUTPUT),
+                                     Pin(node=2, direction=PinDirection.INPUT)]))
+        a1 = d.pin_arrays()
+        assert apply_timing_net_weights(d) > 0
+        assert d.pin_arrays() is not a1
+
+    def test_weighting_improves_critical_path_after_replace(self):
+        """End-to-end: weight, re-place, critical path shortens."""
+        from repro.gp import GlobalPlacer, GPConfig
+
+        spec = BenchmarkSpec(name="tw", num_cells=250, num_macros=0,
+                             num_fixed_macros=0, seed=17, utilization=0.5)
+        cfg = GPConfig(clustering=False, routability=False,
+                       optimize_orientations=False, max_outer_iterations=12)
+        d1 = make_benchmark(spec)
+        GlobalPlacer(cfg).place(d1)
+        base = analyze(d1).clock_period
+
+        d2 = make_benchmark(spec)
+        GlobalPlacer(cfg).place(d2)
+        apply_timing_net_weights(d2, strength=3.0)
+        GlobalPlacer(cfg).place(d2)
+        weighted = analyze(d2).clock_period
+        # longest path should not get (much) worse; usually improves
+        assert weighted <= base * 1.05

@@ -1,0 +1,89 @@
+"""Tests for the visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen import BenchmarkSpec, make_benchmark
+from repro.viz import ascii_heatmap, ascii_histogram, heatmap_to_svg, placement_to_svg
+
+
+class TestAsciiHeatmap:
+    def test_renders_rows_top_down(self):
+        grid = np.zeros((4, 3))
+        grid[0, 2] = 1.0  # top-left in the die -> first output row
+        out = ascii_heatmap(grid, legend=False)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[0][0] != " "
+        assert lines[2][0] == " "
+
+    def test_scale_legend(self):
+        out = ascii_heatmap(np.ones((2, 2)) * 3.0)
+        assert "3" in out.splitlines()[-1]
+
+    def test_vmax_override(self):
+        grid = np.full((2, 2), 0.5)
+        out_low = ascii_heatmap(grid, vmax=0.5, legend=False)
+        out_high = ascii_heatmap(grid, vmax=5.0, legend=False)
+        assert out_low != out_high
+
+    def test_downsampling_wide_grids(self):
+        grid = np.random.default_rng(0).uniform(size=(256, 4))
+        out = ascii_heatmap(grid, width=64, legend=False)
+        assert max(len(l) for l in out.splitlines()) <= 64
+
+    def test_empty(self):
+        assert "empty" in ascii_heatmap(np.zeros((0, 0)))
+
+    def test_zero_grid(self):
+        out = ascii_heatmap(np.zeros((3, 3)), legend=False)
+        assert set("".join(out.splitlines())) == {" "}
+
+
+class TestAsciiHistogram:
+    def test_basic(self):
+        out = ascii_histogram([1, 1, 2, 3, 3, 3], bins=3)
+        assert out.count("|") == 3
+
+    def test_empty(self):
+        assert "no data" in ascii_histogram([])
+
+    def test_label(self):
+        assert ascii_histogram([1, 2], label="hello").startswith("hello")
+
+
+class TestSvg:
+    @pytest.fixture
+    def design(self):
+        return make_benchmark(
+            BenchmarkSpec(name="v", num_cells=50, num_macros=1, num_fences=1,
+                          fence_level=1, seed=4)
+        )
+
+    def test_placement_svg_wellformed(self, design, tmp_path):
+        path = str(tmp_path / "p.svg")
+        text = placement_to_svg(design, path)
+        assert text.startswith("<svg")
+        assert text.endswith("</svg>")
+        assert text.count("<rect") > 50
+        assert "stroke-dasharray" in text  # fence outline
+        with open(path) as f:
+            assert f.read() == text
+
+    def test_placement_svg_no_fences(self, design):
+        text = placement_to_svg(design, show_fences=False)
+        assert "stroke-dasharray" not in text
+
+    def test_heatmap_svg(self, tmp_path):
+        grid = np.random.default_rng(1).uniform(size=(8, 8))
+        path = str(tmp_path / "h.svg")
+        text = heatmap_to_svg(grid, path)
+        assert text.count("<rect") == 64
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(text)  # parses as XML
+
+    def test_placement_svg_parses_as_xml(self, design):
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(placement_to_svg(design))
