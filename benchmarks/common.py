@@ -13,6 +13,10 @@ Environment:
   minutes); default is the three small designs.
 * ``REPRO_BENCH_DP=1`` — include detailed placement in flow runs
   (slower, slightly better HPWL everywhere, same comparisons).
+* ``REPRO_BENCH_TRACE_DIR=dir`` — capture a hierarchical trace of every
+  flow run and write ``<dir>/<design>_<flow>.trace.jsonl``, so the
+  runtime tables can be cross-checked against stage-level span
+  breakdowns (``repro.obs.format_trace_summary``).
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from repro.benchgen import SUITE, make_suite_design
 from repro.dp import DPConfig
 from repro.flow import FlowConfig, NTUplace4H
 from repro.baselines import run_baseline_flow
+from repro.obs import NULL_TRACER, Tracer, use_tracer, write_jsonl
 
 SMALL_SET = ("rh01", "rh02", "rh03")
 FULL_SET = tuple(sorted(SUITE))
@@ -39,6 +44,23 @@ def run_dp() -> bool:
     return bool(os.environ.get("REPRO_BENCH_DP"))
 
 
+def trace_dir() -> str | None:
+    return os.environ.get("REPRO_BENCH_TRACE_DIR") or None
+
+
+def _traced(label: str, fn):
+    """Run ``fn`` under a tracer, writing a JSONL trace when enabled."""
+    out = trace_dir()
+    tracer = Tracer() if out else NULL_TRACER
+    with use_tracer(tracer):
+        result = fn()
+    if out:
+        os.makedirs(out, exist_ok=True)
+        path = os.path.join(out, f"{label}.trace.jsonl")
+        write_jsonl(tracer, path, meta={"bench": label})
+    return result
+
+
 def flow_config(routability: bool) -> FlowConfig:
     cfg = FlowConfig() if routability else FlowConfig.wirelength_only()
     cfg.run_dp = run_dp()
@@ -49,13 +71,20 @@ def flow_config(routability: bool) -> FlowConfig:
 def run_flow(name: str, routability: bool):
     """Generate a suite design and run one flow over it."""
     design = make_suite_design(name)
-    result = NTUplace4H(flow_config(routability)).run(design)
+    flow_label = "4h" if routability else "wl"
+    result = _traced(
+        f"{name}_{flow_label}",
+        lambda: NTUplace4H(flow_config(routability)).run(design),
+    )
     return design, result
 
 
 def run_quadratic(name: str):
     design = make_suite_design(name)
-    result = run_baseline_flow(design, "quadratic", run_dp=run_dp())
+    result = _traced(
+        f"{name}_quadratic",
+        lambda: run_baseline_flow(design, "quadratic", run_dp=run_dp()),
+    )
     return design, result
 
 

@@ -32,6 +32,14 @@ from repro.route import (
 )
 from repro.io import read_bookshelf, write_bookshelf
 from repro.baselines import QuadraticPlacer, run_baseline_flow
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    format_trace_summary,
+    get_tracer,
+    use_tracer,
+    write_jsonl,
+)
 
 __version__ = "1.0.0"
 
@@ -46,6 +54,7 @@ __all__ = [
     "GlobalPlacer",
     "GlobalRouter",
     "Legalizer",
+    "MetricsRegistry",
     "NTUplace4H",
     "Net",
     "Node",
@@ -58,14 +67,19 @@ __all__ = [
     "Region",
     "Row",
     "RoutingSpec",
+    "Tracer",
     "check_legal",
     "congestion_metrics",
+    "format_trace_summary",
+    "get_tracer",
     "make_benchmark",
     "make_suite_design",
     "rc_score",
     "read_bookshelf",
     "run_baseline_flow",
     "scaled_hpwl",
+    "use_tracer",
     "wirelength_driven_flow",
     "write_bookshelf",
+    "write_jsonl",
 ]

@@ -32,7 +32,7 @@ def run_baseline_flow(
     ``kind``: ``"quadratic"`` or ``"random"``.
     """
     result = FlowResult(design_name=design.name)
-    t = time.time()
+    t = time.perf_counter()
     if kind == "quadratic":
         QuadraticPlacer().place(design)
     elif kind == "random":
@@ -40,28 +40,28 @@ def run_baseline_flow(
     else:
         raise ValueError(f"unknown baseline {kind!r}")
     project_into_fences(design)
-    result.stage_seconds["global_place"] = time.time() - t
+    result.stage_seconds["global_place"] = time.perf_counter() - t
     result.hpwl_gp = design.hpwl()
 
-    t = time.time()
+    t = time.perf_counter()
     legalize_macros(design)
     legal_result = Legalizer().legalize(design)
-    result.stage_seconds["legalize"] = time.time() - t
+    result.stage_seconds["legalize"] = time.perf_counter() - t
     result.legal_result = legal_result
     result.hpwl_legal = design.hpwl()
 
     if run_dp:
-        t = time.time()
+        t = time.perf_counter()
         dp_cfg = DPConfig(congestion_aware=False)
         result.dp_report = DetailedPlacer(dp_cfg).run(design, legal_result.submap)
-        result.stage_seconds["detailed_place"] = time.time() - t
+        result.stage_seconds["detailed_place"] = time.perf_counter() - t
 
     result.hpwl_final = design.hpwl()
     result.legal = legal_result.report.ok
     if route and design.routing is not None:
-        t = time.time()
+        t = time.perf_counter()
         rr = GlobalRouter(design.routing).route(design)
-        result.stage_seconds["route"] = time.time() - t
+        result.stage_seconds["route"] = time.perf_counter() - t
         result.route_result = rr
         result.rc = rr.metrics.rc
         result.total_overflow = rr.metrics.total_overflow

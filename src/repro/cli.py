@@ -16,6 +16,7 @@ Bookshelf format, plus an optional SVG.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 from repro.baselines import run_baseline_flow
@@ -24,7 +25,18 @@ from repro.db import compute_stats
 from repro.flow import FlowConfig, NTUplace4H
 from repro.io import read_bookshelf, write_bookshelf
 from repro.metrics import format_table
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    configure_logging,
+    format_trace_summary,
+    get_logger,
+    use_tracer,
+    write_jsonl,
+)
 from repro.route import GlobalRouter, scaled_hpwl
+
+_log = get_logger("cli")
 
 
 def _cmd_generate(args) -> int:
@@ -47,16 +59,36 @@ def _cmd_generate(args) -> int:
 
 def _cmd_place(args) -> int:
     design = read_bookshelf(args.aux)
-    if args.baseline:
-        result = run_baseline_flow(design, args.baseline, route=not args.no_route)
-    else:
-        cfg = FlowConfig.wirelength_only() if args.wirelength_only else FlowConfig()
-        if args.no_dp:
-            cfg.run_dp = False
-        result = NTUplace4H(cfg).run(design, route=not args.no_route)
+    tracing = bool(args.trace or args.trace_summary)
+    if args.trace:
+        # Fail fast on an unwritable path before a minutes-long run.
+        try:
+            with open(args.trace, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write trace file: {exc}", file=sys.stderr)
+            return 2
+    tracer = Tracer() if tracing else NULL_TRACER
+    with use_tracer(tracer):
+        if args.baseline:
+            result = run_baseline_flow(design, args.baseline, route=not args.no_route)
+        else:
+            cfg = FlowConfig.wirelength_only() if args.wirelength_only else FlowConfig()
+            if args.no_dp:
+                cfg.run_dp = False
+            result = NTUplace4H(cfg).run(design, route=not args.no_route)
+    if args.trace:
+        count = write_jsonl(
+            tracer, args.trace, meta={"command": "place", "design": design.name}
+        )
+        print(f"wrote {args.trace} ({count} records)")
+    if args.trace_summary:
+        print(format_trace_summary(tracer))
     print(format_table([result.as_row()], title="flow result"))
     if not result.legal:
-        print("WARNING: placement is not legal:", result.legal_result.report.summary())
+        _log.warning(
+            "placement is not legal: %s", result.legal_result.report.summary()
+        )
     if args.out:
         aux = write_bookshelf(design, args.out)
         print(f"wrote {aux}")
@@ -122,6 +154,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline", choices=["quadratic", "random"])
     p.add_argument("--no-dp", action="store_true")
     p.add_argument("--no-route", action="store_true")
+    p.add_argument(
+        "--trace", metavar="PATH",
+        help="capture a hierarchical trace and write it as JSONL",
+    )
+    p.add_argument(
+        "--trace-summary", action="store_true",
+        help="print the stage-breakdown table of the captured trace",
+    )
     p.set_defaults(func=_cmd_place)
 
     r = sub.add_parser("route", help="score an existing placement by routing")
@@ -136,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
+    configure_logging(logging.WARNING)
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -11,6 +11,7 @@ from repro.dp.hpwl_delta import IncrementalHPWL
 from repro.dp.matching import matching_pass
 from repro.dp.reorder import local_reorder_pass
 from repro.dp.swap import global_swap_pass, vertical_swap_pass
+from repro.obs import get_tracer
 from repro.route.rudy import rudy_map
 
 
@@ -53,6 +54,15 @@ class DPReport:
             return 0.0
         return (self.hpwl_before - self.hpwl_after) / self.hpwl_before
 
+    @property
+    def telemetry(self) -> dict:
+        """Column-oriented per-pass series (HPWL deltas + accept counts)."""
+        return {
+            "pass": [p[0] for p in self.passes],
+            "accepted": [p[1] for p in self.passes],
+            "hpwl_delta": [-p[2] for p in self.passes],  # negative = improved
+        }
+
 
 class DetailedPlacer:
     """Runs swap / reorder / matching rounds on a legalized design."""
@@ -62,51 +72,65 @@ class DetailedPlacer:
 
     def run(self, design, submap) -> DPReport:
         cfg = self.config
-        t0 = time.time()
+        tracer = get_tracer()
+        t0 = time.perf_counter()
         report = DPReport(hpwl_before=design.hpwl())
         inc = IncrementalHPWL(design)
         gate = self._make_gate(design) if cfg.congestion_aware else None
-        for _ in range(cfg.rounds):
-            round_gain = 0.0
-            if cfg.global_swap:
-                acc, gain = global_swap_pass(
-                    design, inc, candidates_per_cell=cfg.swap_candidates, gate=gate
-                )
-                report.passes.append(("global_swap", acc, gain))
-                round_gain += gain
-            if cfg.vertical_swap:
-                acc, gain = vertical_swap_pass(design, inc, gate=gate)
-                report.passes.append(("vertical_swap", acc, gain))
-                round_gain += gain
-            if cfg.local_reorder:
-                # Swap passes move cells between rows; refresh membership.
-                submap.rebuild_cells(design)
-                acc, gain = local_reorder_pass(
-                    design, inc, submap, window=cfg.reorder_window
-                )
-                report.passes.append(("local_reorder", acc, gain))
-                round_gain += gain
-            if cfg.matching:
-                acc, gain = matching_pass(
-                    design, inc, batch_size=cfg.matching_batch, gate=gate
-                )
-                report.passes.append(("matching", acc, gain))
-                round_gain += gain
+
+        def note(name: str, accepted: int, gain: float) -> float:
+            step = len(report.passes)
+            report.passes.append((name, accepted, gain))
+            tracer.metrics.record("dp.hpwl_delta", step, -gain)
+            tracer.metrics.record("dp.accepted", step, accepted)
+            return gain
+
+        for rnd in range(cfg.rounds):
+            with tracer.span(f"round[{rnd}]"):
+                round_gain = 0.0
+                if cfg.global_swap:
+                    with tracer.span("global_swap"):
+                        acc, gain = global_swap_pass(
+                            design,
+                            inc,
+                            candidates_per_cell=cfg.swap_candidates,
+                            gate=gate,
+                        )
+                    round_gain += note("global_swap", acc, gain)
+                if cfg.vertical_swap:
+                    with tracer.span("vertical_swap"):
+                        acc, gain = vertical_swap_pass(design, inc, gate=gate)
+                    round_gain += note("vertical_swap", acc, gain)
+                if cfg.local_reorder:
+                    # Swap passes move cells between rows; refresh membership.
+                    with tracer.span("local_reorder"):
+                        submap.rebuild_cells(design)
+                        acc, gain = local_reorder_pass(
+                            design, inc, submap, window=cfg.reorder_window
+                        )
+                    round_gain += note("local_reorder", acc, gain)
+                if cfg.matching:
+                    with tracer.span("matching"):
+                        acc, gain = matching_pass(
+                            design, inc, batch_size=cfg.matching_batch, gate=gate
+                        )
+                    round_gain += note("matching", acc, gain)
             if round_gain < cfg.min_gain_per_round * max(report.hpwl_before, 1.0):
                 break
         if cfg.congestion_aware and cfg.congestion_spread and design.routing is not None:
             from repro.dp.spreading import congestion_spread_pass
 
-            moves, delta = congestion_spread_pass(
-                design,
-                submap,
-                inc,
-                threshold=cfg.spread_threshold,
-                max_moves=cfg.spread_max_moves,
-            )
-            report.passes.append(("congestion_spread", moves, -delta))
+            with tracer.span("congestion_spread"):
+                moves, delta = congestion_spread_pass(
+                    design,
+                    submap,
+                    inc,
+                    threshold=cfg.spread_threshold,
+                    max_moves=cfg.spread_max_moves,
+                )
+            note("congestion_spread", moves, -delta)
         report.hpwl_after = design.hpwl()
-        report.runtime_seconds = time.time() - t0
+        report.runtime_seconds = time.perf_counter() - t0
         return report
 
     def _make_gate(self, design):

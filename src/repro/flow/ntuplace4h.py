@@ -10,6 +10,7 @@ from repro.dp import DetailedPlacer
 from repro.flow.config import FlowConfig
 from repro.gp import GlobalPlacer, GPConfig
 from repro.legal import Legalizer, legalize_macros
+from repro.obs import get_tracer
 from repro.route import GlobalRouter, scaled_hpwl
 
 
@@ -35,6 +36,18 @@ class FlowResult:
     @property
     def runtime_seconds(self) -> float:
         return sum(self.stage_seconds.values())
+
+    @property
+    def telemetry(self) -> dict:
+        """Per-stage iteration series gathered from the stage reports."""
+        out = {"stage_seconds": dict(self.stage_seconds)}
+        if self.gp_report is not None:
+            out["gp"] = self.gp_report.telemetry
+        if self.dp_report is not None:
+            out["dp"] = self.dp_report.telemetry
+        if self.route_result is not None:
+            out["route"] = {"overflow_per_round": list(self.route_result.overflow_per_round)}
+        return out
 
     def as_row(self) -> dict:
         return {
@@ -63,6 +76,7 @@ class NTUplace4H:
         optimization objective, not the scoring metric.
         """
         cfg = self.config
+        tracer = get_tracer()
         result = FlowResult(design_name=design.name)
         score_weights = [net.weight for net in design.nets]
 
@@ -77,74 +91,90 @@ class NTUplace4H:
                 np.dot(score_weights, hpwl_per_net(arrays, cx, cy))
             )
 
-        t = time.time()
-        gp_report = GlobalPlacer(cfg.gp).place(design)
-        result.stage_seconds["global_place"] = time.time() - t
-        result.gp_report = gp_report
-        result.hpwl_gp = scored_hpwl()
+        with tracer.span("flow", design=design.name):
+            t = time.perf_counter()
+            with tracer.span("gp"):
+                gp_report = GlobalPlacer(cfg.gp).place(design)
+            result.stage_seconds["global_place"] = time.perf_counter() - t
+            result.gp_report = gp_report
+            result.hpwl_gp = scored_hpwl()
 
-        t = time.time()
-        if cfg.timing_weighting:
-            from repro.timing import apply_timing_net_weights
+            t = time.perf_counter()
+            with tracer.span("macro_legal_refine"):
+                if cfg.timing_weighting:
+                    from repro.timing import apply_timing_net_weights
 
-            apply_timing_net_weights(
-                design,
-                strength=cfg.timing_weighting_strength,
-                max_weight=cfg.timing_weighting_max,
-            )
-        if cfg.net_weighting and design.routing is not None:
-            from repro.gp import CongestionInflator, apply_congestion_net_weights
+                    apply_timing_net_weights(
+                        design,
+                        strength=cfg.timing_weighting_strength,
+                        max_weight=cfg.timing_weighting_max,
+                    )
+                if cfg.net_weighting and design.routing is not None:
+                    from repro.gp import (
+                        CongestionInflator,
+                        apply_congestion_net_weights,
+                    )
 
-            estimator = CongestionInflator(design)
-            cmap = estimator.congestion_map(
-                design.pin_arrays(), *design.pull_centers()
-            )
-            apply_congestion_net_weights(
-                design,
-                cmap,
-                strength=cfg.net_weighting_strength,
-                max_weight=cfg.net_weighting_max,
-            )
-        legalize_macros(design, channel=cfg.macro_channel)
-        if cfg.refine_after_macro_legal and design.macro_mask().any():
-            refine_cfg = GPConfig(**vars(cfg.gp))
-            refine_cfg.freeze_macros = True
-            refine_cfg.clustering = False
-            refine_cfg.max_outer_iterations = cfg.refine_outer_iterations
-            GlobalPlacer(refine_cfg).place(design, warm_start=True)
-        result.stage_seconds["macro_legal_refine"] = time.time() - t
+                    estimator = CongestionInflator(design)
+                    cmap = estimator.congestion_map(
+                        design.pin_arrays(), *design.pull_centers()
+                    )
+                    apply_congestion_net_weights(
+                        design,
+                        cmap,
+                        strength=cfg.net_weighting_strength,
+                        max_weight=cfg.net_weighting_max,
+                    )
+                legalize_macros(design, channel=cfg.macro_channel)
+                if cfg.refine_after_macro_legal and design.macro_mask().any():
+                    refine_cfg = GPConfig(**vars(cfg.gp))
+                    refine_cfg.freeze_macros = True
+                    refine_cfg.clustering = False
+                    refine_cfg.max_outer_iterations = cfg.refine_outer_iterations
+                    refiner = GlobalPlacer(refine_cfg)
+                    refiner.metric_prefix = "gp.refine"
+                    with tracer.span("refine"):
+                        refiner.place(design, warm_start=True)
+            result.stage_seconds["macro_legal_refine"] = time.perf_counter() - t
 
-        t = time.time()
-        legal_result = Legalizer(macro_channel=cfg.macro_channel).legalize(design)
-        result.stage_seconds["legalize"] = time.time() - t
-        result.legal_result = legal_result
-        result.hpwl_legal = scored_hpwl()
+            t = time.perf_counter()
+            with tracer.span("legal"):
+                legal_result = Legalizer(
+                    macro_channel=cfg.macro_channel
+                ).legalize(design)
+            result.stage_seconds["legalize"] = time.perf_counter() - t
+            result.legal_result = legal_result
+            result.hpwl_legal = scored_hpwl()
 
-        if cfg.run_dp:
-            t = time.time()
-            dp_report = DetailedPlacer(cfg.dp).run(design, legal_result.submap)
-            result.stage_seconds["detailed_place"] = time.time() - t
-            result.dp_report = dp_report
+            if cfg.run_dp:
+                t = time.perf_counter()
+                with tracer.span("dp"):
+                    dp_report = DetailedPlacer(cfg.dp).run(
+                        design, legal_result.submap
+                    )
+                result.stage_seconds["detailed_place"] = time.perf_counter() - t
+                result.dp_report = dp_report
 
-        result.hpwl_final = scored_hpwl()
-        result.legal = legal_result.report.ok
+            result.hpwl_final = scored_hpwl()
+            result.legal = legal_result.report.ok
 
-        if route and design.routing is not None:
-            t = time.time()
-            router = GlobalRouter(
-                design.routing,
-                sweeps=cfg.route_sweeps,
-                maze_rounds=cfg.route_maze_rounds,
-            )
-            rr = router.route(design)
-            result.stage_seconds["route"] = time.time() - t
-            result.route_result = rr
-            result.rc = rr.metrics.rc
-            result.total_overflow = rr.metrics.total_overflow
-            result.peak_congestion = rr.metrics.peak_congestion
-            result.scaled_hpwl = scaled_hpwl(result.hpwl_final, result.rc)
-        else:
-            result.scaled_hpwl = result.hpwl_final
+            if route and design.routing is not None:
+                t = time.perf_counter()
+                with tracer.span("route"):
+                    router = GlobalRouter(
+                        design.routing,
+                        sweeps=cfg.route_sweeps,
+                        maze_rounds=cfg.route_maze_rounds,
+                    )
+                    rr = router.route(design)
+                result.stage_seconds["route"] = time.perf_counter() - t
+                result.route_result = rr
+                result.rc = rr.metrics.rc
+                result.total_overflow = rr.metrics.total_overflow
+                result.peak_congestion = rr.metrics.peak_congestion
+                result.scaled_hpwl = scaled_hpwl(result.hpwl_final, result.rc)
+            else:
+                result.scaled_hpwl = result.hpwl_final
         return result
 
 

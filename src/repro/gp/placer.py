@@ -9,6 +9,7 @@ optional hierarchy-aware clustering V-cycle accelerates large designs.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 
@@ -23,9 +24,12 @@ from repro.gp.inflation import CongestionInflator
 from repro.gp.initial import initial_placement
 from repro.gp.orient import optimize_macro_orientations
 from repro.grids import BinGrid
+from repro.obs import configure_logging, get_logger, get_tracer
 from repro.optim import minimize_cg
 from repro.wirelength import hpwl as exact_hpwl
 from repro.wirelength import make_model
+
+_log = get_logger("gp")
 
 
 @dataclass
@@ -40,6 +44,9 @@ class IterationStats:
     lam: float
     mean_inflation: float
     fence: float = 0.0
+    gamma: float = 0.0     # WA/LSE smoothing parameter this iteration
+    step: float = 0.0      # last accepted CG line-search step (die units)
+    cg_iters: int = 0      # inner CG iterations spent this outer iteration
 
 
 @dataclass
@@ -58,9 +65,30 @@ class GPReport:
     def num_iterations(self) -> int:
         return len(self.iterations)
 
+    @property
+    def telemetry(self) -> dict:
+        """Column-oriented per-outer-iteration series (plot-ready)."""
+        its = self.iterations
+        return {
+            "outer": [s.outer for s in its],
+            "hpwl": [s.hpwl for s in its],
+            "overflow": [s.overflow for s in its],
+            "lam": [s.lam for s in its],
+            "gamma": [s.gamma for s in its],
+            "step": [s.step for s in its],
+            "cg_iters": [s.cg_iters for s in its],
+            "mean_inflation": [s.mean_inflation for s in its],
+            "fence": [s.fence for s in its],
+        }
+
 
 class GlobalPlacer:
     """Analytical global placement over a :class:`~repro.db.Design`."""
+
+    # Namespace for this placer's metric series ("gp.hpwl", ...).  The
+    # coarse V-cycle and the flow's post-macro refinement pass override
+    # it so their samples don't interleave with the main trajectory.
+    metric_prefix = "gp"
 
     def __init__(self, config: GPConfig | None = None):
         self.config = config or GPConfig()
@@ -69,34 +97,40 @@ class GlobalPlacer:
     def place(self, design: Design, *, warm_start: bool = False) -> GPReport:
         """Run global placement, mutating node positions in ``design``."""
         cfg = self.config
-        t0 = time.time()
+        if cfg.verbose:
+            configure_logging(logging.INFO)
+        tracer = get_tracer()
+        t0 = time.perf_counter()
         report = GPReport()
         movable = design.movable_indices()
         if len(movable) == 0:
-            report.runtime_seconds = time.time() - t0
+            report.runtime_seconds = time.perf_counter() - t0
             return report
 
         if not warm_start:
-            initial_placement(design, seed=cfg.seed)
+            with tracer.span("initial"):
+                initial_placement(design, seed=cfg.seed)
 
         if (
             cfg.clustering
             and cfg.cluster_max_levels > 0
             and len(movable) >= cfg.cluster_min_nodes
         ):
-            clustered = cluster_design(design, ratio=cfg.cluster_ratio)
-            coarse_cfg = self._coarse_config()
-            coarse_report = GlobalPlacer(coarse_cfg).place(clustered.coarse)
-            # Surface the deepest level's trajectory for inspection.
-            report.coarse_iterations = (
-                coarse_report.coarse_iterations or coarse_report.iterations
-            )
-            clustered.transfer_positions()
+            with tracer.span("coarse", level=cfg.cluster_max_levels):
+                clustered = cluster_design(design, ratio=cfg.cluster_ratio)
+                coarse_placer = GlobalPlacer(self._coarse_config())
+                coarse_placer.metric_prefix = self.metric_prefix + ".coarse"
+                coarse_report = coarse_placer.place(clustered.coarse)
+                # Surface the deepest level's trajectory for inspection.
+                report.coarse_iterations = (
+                    coarse_report.coarse_iterations or coarse_report.iterations
+                )
+                clustered.transfer_positions()
 
         flat = self._place_flat(design, report, warm=bool(report.coarse_iterations) or warm_start)
         report.final_hpwl = design.hpwl()
         report.final_overflow = flat
-        report.runtime_seconds = time.time() - t0
+        report.runtime_seconds = time.perf_counter() - t0
         return report
 
     def _coarse_config(self) -> GPConfig:
@@ -232,56 +266,84 @@ class GlobalPlacer:
         v = project(pack())
         unpack(v)
 
+        tracer = get_tracer()
+        metrics = tracer.metrics
+        prefix = self.metric_prefix
         for outer in range(cfg.max_outer_iterations):
-            if (
-                inflator is not None
-                and overflow <= cfg.inflation_start_overflow
-                and outer % cfg.inflation_interval == 0
-            ):
-                areas = inflator.update(arrays, cx, cy, movable_mask)
-                density.set_areas(areas)
-            if (
-                cfg.optimize_orientations
-                and not cfg.freeze_macros
-                and outer > 0
-                and outer % cfg.orientation_interval == 0
-            ):
-                changed = self._orientation_pass(design, cx, cy)
-                report.orientation_changes += changed
-                if changed:
-                    arrays = design.pin_arrays()
-                    wl_model = make_model(
-                        cfg.wirelength_model, arrays, len(design.nodes), wl_model.gamma
-                    )
+            with tracer.span(f"iter[{outer}]"):
+                if (
+                    inflator is not None
+                    and overflow <= cfg.inflation_start_overflow
+                    and outer % cfg.inflation_interval == 0
+                ):
+                    with tracer.span("inflation"):
+                        areas = inflator.update(arrays, cx, cy, movable_mask)
+                        density.set_areas(areas)
+                if (
+                    cfg.optimize_orientations
+                    and not cfg.freeze_macros
+                    and outer > 0
+                    and outer % cfg.orientation_interval == 0
+                ):
+                    with tracer.span("orientation"):
+                        changed = self._orientation_pass(design, cx, cy)
+                    report.orientation_changes += changed
+                    if changed:
+                        arrays = design.pin_arrays()
+                        wl_model = make_model(
+                            cfg.wirelength_model,
+                            arrays,
+                            len(design.nodes),
+                            wl_model.gamma,
+                        )
 
-            result = minimize_cg(
-                objective,
-                v,
-                max_iter=cfg.inner_iterations,
-                step_init=step_init,
-                step_max=step_max,
-                project=project,
-            )
-            v = result.x
-            unpack(v)
-            overflow = self._overflow(design, density, cx, cy, widths, heights, mov)
-            wl_exact = exact_hpwl(arrays, cx, cy)
-            stats = IterationStats(
-                outer=outer,
-                hpwl=wl_exact,
-                smooth_wl=wl_model.value(cx, cy),
-                density=density.value(cx, cy),
-                overflow=overflow,
-                lam=state["lam"],
-                mean_inflation=inflator.mean_inflation if inflator else 1.0,
-                fence=fence.value(cx, cy) if fence.active else 0.0,
-            )
-            report.iterations.append(stats)
-            if self.config.verbose:
-                print(
-                    f"[gp {design.name}] outer={outer:3d} hpwl={wl_exact:12.1f} "
-                    f"ovfl={overflow:6.3f} lam={state['lam']:9.2e}"
-                )
+                with tracer.span("cg"):
+                    result = minimize_cg(
+                        objective,
+                        v,
+                        max_iter=cfg.inner_iterations,
+                        step_init=step_init,
+                        step_max=step_max,
+                        project=project,
+                    )
+                v = result.x
+                unpack(v)
+                with tracer.span("gradient"):
+                    overflow = self._overflow(
+                        design, density, cx, cy, widths, heights, mov
+                    )
+                    wl_exact = exact_hpwl(arrays, cx, cy)
+                    stats = IterationStats(
+                        outer=outer,
+                        hpwl=wl_exact,
+                        smooth_wl=wl_model.value(cx, cy),
+                        density=density.value(cx, cy),
+                        overflow=overflow,
+                        lam=state["lam"],
+                        mean_inflation=inflator.mean_inflation if inflator else 1.0,
+                        fence=fence.value(cx, cy) if fence.active else 0.0,
+                        gamma=wl_model.gamma,
+                        step=result.final_step,
+                        cg_iters=result.iterations,
+                    )
+                report.iterations.append(stats)
+                metrics.record(prefix + ".hpwl", outer, wl_exact)
+                metrics.record(prefix + ".overflow", outer, overflow)
+                metrics.record(prefix + ".lam", outer, state["lam"])
+                metrics.record(prefix + ".gamma", outer, wl_model.gamma)
+                metrics.record(prefix + ".step", outer, result.final_step)
+                metrics.record(prefix + ".cg_iters", outer, result.iterations)
+                if self.config.verbose or _log.isEnabledFor(logging.DEBUG):
+                    _log.log(
+                        logging.INFO if self.config.verbose else logging.DEBUG,
+                        "[%s %s] outer=%3d hpwl=%12.1f ovfl=%6.3f lam=%9.2e",
+                        prefix,
+                        design.name,
+                        outer,
+                        wl_exact,
+                        overflow,
+                        state["lam"],
+                    )
             if overflow <= cfg.overflow_target:
                 break
             state["lam"] *= cfg.lambda_growth

@@ -11,6 +11,7 @@ from repro.legal.check import LegalityReport, check_legal
 from repro.legal.macro_legal import legalize_macros
 from repro.legal.subrows import SubRowMap
 from repro.legal.tetris import tetris_legalize
+from repro.obs import get_tracer
 
 
 @dataclass
@@ -37,14 +38,18 @@ class Legalizer:
         self.row_probe = row_probe
 
     def legalize(self, design: Design) -> LegalizeResult:
-        t0 = time.time()
+        tracer = get_tracer()
+        t0 = time.perf_counter()
         desired = {
             n.index: (n.x, n.y) for n in design.nodes if n.is_movable
         }
-        macros_moved = legalize_macros(design, channel=self.macro_channel)
-        submap = SubRowMap(design)
-        tetris_legalize(design, submap, row_probe=self.row_probe)
-        abacus_refine(design, submap, {i: xy[0] for i, xy in desired.items()})
+        with tracer.span("macro_legal"):
+            macros_moved = legalize_macros(design, channel=self.macro_channel)
+        with tracer.span("tetris"):
+            submap = SubRowMap(design)
+            tetris_legalize(design, submap, row_probe=self.row_probe)
+        with tracer.span("abacus"):
+            abacus_refine(design, submap, {i: xy[0] for i, xy in desired.items()})
         total = 0.0
         worst = 0.0
         for node in design.nodes:
@@ -54,12 +59,15 @@ class Legalizer:
             d = abs(node.x - dx0) + abs(node.y - dy0)
             total += d
             worst = max(worst, d)
-        report = check_legal(design)
+        with tracer.span("audit"):
+            report = check_legal(design)
+        tracer.metrics.gauge("legal.total_displacement").set(total)
+        tracer.metrics.gauge("legal.max_displacement").set(worst)
         return LegalizeResult(
             submap=submap,
             macros_moved=macros_moved,
             total_displacement=total,
             max_displacement=worst,
-            runtime_seconds=time.time() - t0,
+            runtime_seconds=time.perf_counter() - t0,
             report=report,
         )

@@ -1,0 +1,69 @@
+"""Observability: hierarchical tracing, metrics, logging, JSONL export.
+
+The flow, placer, legalizer, detailed placer, and router are all
+instrumented against this package.  By default the current tracer is a
+no-op singleton, so instrumentation is free; install a real
+:class:`Tracer` (``with use_tracer(Tracer()): ...``) to capture nested
+spans, per-iteration metric series, and log events, then export them
+with :func:`write_jsonl` or render :func:`format_trace_summary`.
+
+See ``docs/observability.md`` for the API and the JSONL schema.
+"""
+
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    format_trace_summary,
+    iter_records,
+    read_jsonl,
+    span_rows,
+    write_jsonl,
+)
+from repro.obs.log import TracerEventHandler, configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Sample,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    Event,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "SCHEMA_VERSION",
+    "Counter",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NullTracer",
+    "Sample",
+    "Span",
+    "Tracer",
+    "TracerEventHandler",
+    "configure_logging",
+    "format_trace_summary",
+    "get_logger",
+    "get_tracer",
+    "iter_records",
+    "read_jsonl",
+    "set_tracer",
+    "span_rows",
+    "use_tracer",
+    "write_jsonl",
+]

@@ -1,0 +1,137 @@
+"""Structured trace export (JSONL) and plain-text summaries.
+
+One trace file is JSON Lines: the first record is a ``meta`` header,
+followed by one record per finished span, per event, per metric sample,
+and one trailing ``metrics`` snapshot of the instrument state.  The
+schema is documented in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.metrics.report import format_table
+from repro.obs.tracer import Tracer
+
+SCHEMA_VERSION = 1
+
+
+def iter_records(tracer: Tracer, meta: dict | None = None):
+    """Yield the JSON-serializable records of one trace, header first."""
+    header = {"type": "meta", "schema": SCHEMA_VERSION}
+    if meta:
+        header.update(meta)
+    yield header
+    for span in tracer.finished_spans():
+        yield span.as_record()
+    for event in tracer.events():
+        yield event.as_record()
+    for sample in tracer.metrics.samples():
+        yield {
+            "type": "sample",
+            "metric": sample.metric,
+            "step": sample.step,
+            "value": sample.value,
+        }
+    yield {"type": "metrics", **tracer.metrics.snapshot()}
+
+
+def write_jsonl(tracer: Tracer, path, meta: dict | None = None) -> int:
+    """Write the trace to ``path`` as JSONL; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in iter_records(tracer, meta):
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path) -> list[dict]:
+    """Parse a trace file back into its records (blank lines skipped)."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def span_rows(tracer: Tracer, max_depth: int | None = None) -> list[dict]:
+    """Aggregate finished spans by path into summary-table rows.
+
+    Each row carries call count, total seconds, mean seconds, and the
+    share of the run (total of all root spans).  Rows are ordered by
+    first appearance in the span tree (roots in start order, children
+    under their parent), so the table reads like an indented profile.
+    """
+    spans = tracer.finished_spans()
+    if max_depth is not None:
+        spans = [s for s in spans if s.depth <= max_depth]
+    agg: dict[str, dict] = {}
+    for span in spans:
+        row = agg.get(span.path)
+        if row is None:
+            row = agg[span.path] = {
+                "path": span.path,
+                "depth": span.depth,
+                "calls": 0,
+                "total_s": 0.0,
+                "start": span.start,
+            }
+        row["calls"] += 1
+        row["total_s"] += span.duration
+        row["start"] = min(row["start"], span.start)
+    root_total = sum(r["total_s"] for r in agg.values() if r["depth"] == 0)
+    rows = sorted(agg.values(), key=lambda r: (r["path"].count("/"), r["start"]))
+    # Re-order depth-first: children directly under their parent.
+    ordered: list[dict] = []
+
+    def place(prefix: str, depth: int) -> None:
+        for row in rows:
+            parent = row["path"].rsplit("/", 1)[0] if "/" in row["path"] else ""
+            if row["depth"] == depth and parent == prefix:
+                ordered.append(row)
+                place(row["path"], depth + 1)
+
+    place("", 0)
+    out = []
+    for row in ordered:
+        indent = "  " * row["depth"]
+        out.append(
+            {
+                "span": indent + row["path"].rsplit("/", 1)[-1],
+                "calls": row["calls"],
+                "total_s": round(row["total_s"], 3),
+                "mean_s": round(row["total_s"] / max(row["calls"], 1), 4),
+                "share": (
+                    f"{100.0 * row['total_s'] / root_total:.1f}%"
+                    if root_total > 0
+                    else "-"
+                ),
+            }
+        )
+    return out
+
+
+def format_trace_summary(
+    tracer: Tracer, *, max_depth: int | None = 2, title: str = "trace summary"
+) -> str:
+    """Stage-breakdown table plus a one-line digest of the metric series."""
+    parts = [format_table(span_rows(tracer, max_depth), title=title)]
+    sample_counts: dict[str, int] = {}
+    last_value: dict[str, float] = {}
+    for s in tracer.metrics.samples():
+        sample_counts[s.metric] = sample_counts.get(s.metric, 0) + 1
+        last_value[s.metric] = s.value
+    if sample_counts:
+        rows = [
+            {
+                "metric": name,
+                "samples": sample_counts[name],
+                "last": round(last_value[name], 6),
+            }
+            for name in sorted(sample_counts)
+        ]
+        parts.append(format_table(rows, title="metric series"))
+    return "\n\n".join(parts)

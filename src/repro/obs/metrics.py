@@ -1,0 +1,209 @@
+"""Metrics primitives: counters, gauges, histograms, and time series.
+
+A :class:`MetricsRegistry` is a named collection of instruments plus a
+per-iteration *series* store: ``registry.record("gp.hpwl", step=outer,
+value=wl)`` appends one :class:`Sample`, and the GP/DP/router loops use
+exactly that to publish their per-iteration trajectories (HPWL,
+overflow, penalty weights, pass gains, rip-up rounds).
+
+Like the tracer, the registry has a no-op twin (:data:`NULL_REGISTRY`)
+so instrumented code can call it unconditionally; the disabled path
+does nothing and allocates nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+
+class Sample(NamedTuple):
+    """One time-series point: metric value at an iteration index."""
+
+    metric: str
+    step: int
+    value: float
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (events, accepted moves, ...)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """Last-written value (current lambda, current overflow, ...)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style bucket upper bounds).
+
+    ``buckets`` are inclusive upper bounds in increasing order; one
+    implicit overflow bucket catches everything larger.  ``counts`` has
+    ``len(buckets) + 1`` entries.
+    """
+
+    name: str
+    buckets: tuple = DEFAULT_BUCKETS
+    counts: list = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self):
+        self.buckets = tuple(sorted(float(b) for b in self.buckets))
+        if not self.counts:
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.total += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named instruments plus per-iteration sample series, thread-safe."""
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._samples: list[Sample] = []
+
+    # -- instruments (get-or-create) -----------------------------------
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name)
+            return inst
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name, tuple(buckets))
+            return inst
+
+    # -- time series ---------------------------------------------------
+    def record(self, metric: str, step: int, value: float) -> None:
+        """Append one per-iteration sample to ``metric``'s series."""
+        sample = Sample(metric, int(step), float(value))
+        with self._lock:
+            self._samples.append(sample)
+
+    def samples(self, metric: str | None = None) -> list[Sample]:
+        """All samples (or only ``metric``'s), in recording order."""
+        with self._lock:
+            if metric is None:
+                return list(self._samples)
+            return [s for s in self._samples if s.metric == metric]
+
+    def series(self, metric: str) -> list[tuple[int, float]]:
+        """``(step, value)`` pairs of one metric, in recording order."""
+        return [(s.step, s.value) for s in self.samples(metric)]
+
+    # -- snapshots -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument (for export/summaries)."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
+                "histograms": {
+                    n: {
+                        "buckets": list(h.buckets),
+                        "counts": list(h.counts),
+                        "total": h.total,
+                        "count": h.count,
+                    }
+                    for n, h in self._histograms.items()
+                },
+            }
+
+
+class _NullInstrument:
+    """Stands in for Counter/Gauge/Histogram when metrics are off."""
+
+    __slots__ = ()
+    value = 0.0
+    total = 0.0
+    count = 0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """Disabled registry: accepts every call, records nothing."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def record(self, metric: str, step: int, value: float) -> None:
+        pass
+
+    def samples(self, metric: str | None = None) -> list:
+        return []
+
+    def series(self, metric: str) -> list:
+        return []
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_REGISTRY = NullRegistry()

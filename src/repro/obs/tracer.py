@@ -1,0 +1,252 @@
+"""Hierarchical span tracing for the placement flow.
+
+A :class:`Tracer` records *spans* — named, nested, wall-clock-timed
+regions such as ``flow/gp/iter[12]/cg`` — plus point *events*, and owns
+a :class:`~repro.obs.metrics.MetricsRegistry` for numeric telemetry.
+All timing uses the monotonic ``time.perf_counter`` clock, so durations
+are immune to wall-clock adjustments.
+
+Instrumented code never checks whether tracing is on: it asks
+:func:`get_tracer` for the *current* tracer and uses it unconditionally.
+By default that is :data:`NULL_TRACER`, a no-op singleton whose
+``span()`` returns one shared, reusable context manager — the disabled
+path allocates nothing and costs two attribute lookups plus a call, so
+instrumentation can live inside per-iteration loops.
+
+Usage::
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with tracer.span("flow"):
+            with tracer.span("gp", design="rh02"):
+                ...
+    tracer.finished_spans()   # -> [Span(path="flow/gp", ...), Span(path="flow", ...)]
+
+Spans nest per thread (a thread-local stack), while the finished-span
+list and the metrics registry are shared and lock-protected, so one
+tracer can observe a multi-threaded flow.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+
+
+@dataclass
+class Span:
+    """One finished traced region."""
+
+    name: str                 # leaf name, e.g. "cg"
+    path: str                 # full slash path, e.g. "flow/gp/iter[3]/cg"
+    start: float              # perf_counter timestamp at entry
+    duration: float = 0.0     # seconds
+    depth: int = 0            # 0 for root spans
+    attrs: dict = field(default_factory=dict)
+    error: str | None = None  # exception type name if the span raised
+
+    def as_record(self) -> dict:
+        """JSON-serializable form (the JSONL ``span`` record payload)."""
+        rec = {
+            "type": "span",
+            "name": self.name,
+            "path": self.path,
+            "start": self.start,
+            "duration": self.duration,
+            "depth": self.depth,
+        }
+        if self.attrs:
+            rec["attrs"] = self.attrs
+        if self.error:
+            rec["error"] = self.error
+        return rec
+
+
+@dataclass
+class Event:
+    """A point-in-time occurrence (log line, state change, milestone)."""
+
+    name: str
+    path: str                 # path of the enclosing span ("" at top level)
+    time: float               # perf_counter timestamp
+    attrs: dict = field(default_factory=dict)
+
+    def as_record(self) -> dict:
+        rec = {
+            "type": "event",
+            "name": self.name,
+            "path": self.path,
+            "time": self.time,
+        }
+        if self.attrs:
+            rec["attrs"] = self.attrs
+        return rec
+
+
+class _SpanHandle:
+    """Context manager for one live span of an enabled tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self._span
+        span.duration = time.perf_counter() - span.start
+        if exc_type is not None:
+            span.error = exc_type.__name__
+        self._tracer._finish(span)
+        return False
+
+
+class Tracer:
+    """Collects spans, events, and metrics for one run."""
+
+    enabled = True
+
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._spans: list[Span] = []
+        self._events: list[Event] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span API ------------------------------------------------------
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        """Open a nested span; use as ``with tracer.span("gp"): ...``."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        path = f"{parent.path}/{name}" if parent else name
+        span = Span(
+            name=name,
+            path=path,
+            start=time.perf_counter(),
+            depth=len(stack),
+            attrs=dict(attrs) if attrs else {},
+        )
+        stack.append(span)
+        return _SpanHandle(self, span)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a point event under the current span path."""
+        evt = Event(
+            name=name,
+            path=self.current_path(),
+            time=time.perf_counter(),
+            attrs=dict(attrs) if attrs else {},
+        )
+        with self._lock:
+            self._events.append(evt)
+
+    def current_path(self) -> str:
+        """Slash path of the innermost open span ("" outside any span)."""
+        stack = self._stack()
+        return stack[-1].path if stack else ""
+
+    # -- results -------------------------------------------------------
+    def finished_spans(self) -> list[Span]:
+        """Finished spans in completion order (children before parents)."""
+        with self._lock:
+            return list(self._spans)
+
+    def events(self) -> list[Event]:
+        with self._lock:
+            return list(self._events)
+
+    # -- internals -----------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _finish(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate mis-nested exits (e.g. a generator finalized late):
+        # drop the span from wherever it sits rather than corrupting
+        # unrelated entries.
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            stack.remove(span)
+        with self._lock:
+            self._spans.append(span)
+
+
+class _NullContext:
+    """Reusable no-op context manager (also a no-op "span")."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullTracer:
+    """Disabled tracer: every operation is a no-op, nothing allocates.
+
+    ``span()`` hands back one shared context manager instance, so the
+    instrumentation in hot loops costs an attribute lookup and a call —
+    no objects, no clock reads, no locks.
+    """
+
+    enabled = False
+    metrics = NULL_REGISTRY
+
+    def span(self, name: str, **attrs) -> _NullContext:  # noqa: ARG002
+        return _NULL_CONTEXT
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def current_path(self) -> str:
+        return ""
+
+    def finished_spans(self) -> list:
+        return []
+
+    def events(self) -> list:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+_current: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The tracer instrumented code should write to (never ``None``)."""
+    return _current
+
+
+def set_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` globally; ``None`` restores the no-op tracer."""
+    global _current
+    _current = tracer if tracer is not None else NULL_TRACER
+    return _current
+
+
+@contextmanager
+def use_tracer(tracer: Tracer | NullTracer | None):
+    """Scoped :func:`set_tracer`: restores the previous tracer on exit."""
+    previous = _current
+    set_tracer(tracer)
+    try:
+        yield _current
+    finally:
+        set_tracer(previous)

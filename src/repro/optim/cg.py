@@ -28,6 +28,7 @@ class CGResult:
     iterations: int
     converged: bool
     trajectory: list  # objective value per iteration
+    final_step: float = 0.0  # last accepted line-search step (die distance)
 
 
 def minimize_cg(
@@ -60,6 +61,7 @@ def minimize_cg(
     trajectory = [f] if record else []
     converged = False
     iterations = 0
+    last_step = 0.0
     for it in range(max_iter):
         iterations = it + 1
         dinf = float(np.max(np.abs(d))) if d.size else 0.0
@@ -99,6 +101,7 @@ def minimize_cg(
         if not accepted:
             converged = True
             break
+        last_step = step
         # Adapt the trial step: grow after easy acceptance, keep otherwise.
         alpha = step * (2.0 if step >= alpha * 0.99 else 1.0)
         if step_max is not None:
@@ -124,4 +127,5 @@ def minimize_cg(
         iterations=iterations,
         converged=converged,
         trajectory=trajectory,
+        final_step=last_step,
     )

@@ -16,10 +16,11 @@ by routability (the contest methodology), not a sign-off router.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import get_tracer
 from repro.route.graph import GridGraph
 from repro.route.maze import maze_route
 from repro.route.metrics import CongestionMetrics, congestion_metrics
@@ -42,6 +43,9 @@ class RouteResult:
     metrics: CongestionMetrics
     num_segments: int
     maze_rerouted: int
+    # Total overflow after each rip-up/re-route round: index 0 is the
+    # initial L-sweep commit, then one entry per Z/maze round that ran.
+    overflow_per_round: list = field(default_factory=list)
 
     @property
     def rc(self) -> float:
@@ -101,33 +105,50 @@ class GlobalRouter:
             cx, cy = design.pull_centers()
         if arrays is None or cx is None or cy is None:
             raise ValueError("route() needs a design or (arrays, cx, cy)")
+        tracer = get_tracer()
         graph = GridGraph(self.spec)
-        i0, j0, i1, j1 = self.segments_for(arrays, cx, cy)
+        with tracer.span("decompose"):
+            i0, j0, i1, j1 = self.segments_for(arrays, cx, cy)
         nseg = len(i0)
         if nseg == 0:
             return RouteResult(graph, congestion_metrics(graph), 0, 0)
 
-        hv = self._l_sweeps(graph, i0, j0, i1, j1)
-        routes = [
-            l_route_runs(int(a), int(b), int(c), int(d), bool(h))
-            for a, b, c, d, h in zip(i0, j0, i1, j1, hv)
-        ]
-        self._commit_all(graph, routes)
+        overflow_per_round: list[float] = []
+
+        def note_round(overflow: float) -> float:
+            tracer.metrics.record("route.overflow", len(overflow_per_round), overflow)
+            overflow_per_round.append(overflow)
+            return overflow
+
+        with tracer.span("l_sweeps", sweeps=self.sweeps):
+            hv = self._l_sweeps(graph, i0, j0, i1, j1)
+            routes = [
+                l_route_runs(int(a), int(b), int(c), int(d), bool(h))
+                for a, b, c, d, h in zip(i0, j0, i1, j1, hv)
+            ]
+            self._commit_all(graph, routes)
+        overflow = note_round(graph.total_overflow())
         maze_count = 0
-        if self.z_refine and graph.total_overflow() > 0:
-            self._reroute_offenders(graph, routes, i0, j0, i1, j1, use_maze=False)
-        for _ in range(self.maze_rounds):
-            if graph.total_overflow() <= 0:
+        if self.z_refine and overflow > 0:
+            with tracer.span("z_refine"):
+                self._reroute_offenders(
+                    graph, routes, i0, j0, i1, j1, use_maze=False
+                )
+            overflow = note_round(graph.total_overflow())
+        for rnd in range(self.maze_rounds):
+            if overflow <= 0:
                 break
-            graph.bump_history()
-            maze_count += self._reroute_offenders(
-                graph, routes, i0, j0, i1, j1, use_maze=True
-            )
+            with tracer.span(f"maze[{rnd}]"):
+                graph.bump_history()
+                maze_count += self._reroute_offenders(
+                    graph, routes, i0, j0, i1, j1, use_maze=True
+                )
+            overflow = note_round(graph.total_overflow())
         metrics = congestion_metrics(graph)
         # Via estimate: one via per bend (adjacent runs on H/V layers)
         # plus two pin-access vias per routed connection.
         metrics.vias = sum(max(0, len(r) - 1) for r in routes) + 2 * nseg
-        return RouteResult(graph, metrics, nseg, maze_count)
+        return RouteResult(graph, metrics, nseg, maze_count, overflow_per_round)
 
     # ------------------------------------------------------------------
     def _l_sweeps(self, graph: GridGraph, i0, j0, i1, j1) -> np.ndarray:
