@@ -76,6 +76,7 @@ def _cmd_place(args) -> int:
             cfg = FlowConfig.wirelength_only() if args.wirelength_only else FlowConfig()
             if args.no_dp:
                 cfg.run_dp = False
+            _apply_route_knobs(cfg, args)
             result = NTUplace4H(cfg).run(design, route=not args.no_route)
     if args.trace:
         count = write_jsonl(
@@ -100,12 +101,51 @@ def _cmd_place(args) -> int:
     return 0 if result.legal else 1
 
 
+def _apply_route_knobs(cfg: FlowConfig, args) -> None:
+    """Copy the router tuning flags (when given) onto a flow config."""
+    if args.route_sweeps is not None:
+        cfg.route_sweeps = args.route_sweeps
+    if args.maze_rounds is not None:
+        cfg.route_maze_rounds = args.maze_rounds
+    if args.max_maze_nets is not None:
+        cfg.route_max_maze_nets = args.max_maze_nets
+    if args.cost_refresh is not None:
+        cfg.route_cost_refresh = args.cost_refresh
+
+
+def _add_route_knobs(p) -> None:
+    p.add_argument(
+        "--route-sweeps", type=int, metavar="N",
+        help="number of vectorized L-routing sweeps",
+    )
+    p.add_argument(
+        "--maze-rounds", type=int, metavar="N",
+        help="maximum maze rip-up-and-reroute rounds",
+    )
+    p.add_argument(
+        "--max-maze-nets", type=int, metavar="N",
+        help="per-round cap on maze-rerouted segments",
+    )
+    p.add_argument(
+        "--cost-refresh", type=int, metavar="K",
+        help="1 = exact incremental cost refresh; K>1 = full rebuild every K reroutes",
+    )
+
+
 def _cmd_route(args) -> int:
     design = read_bookshelf(args.aux)
     if design.routing is None:
         print("error: benchmark has no .route file", file=sys.stderr)
         return 2
-    rr = GlobalRouter(design.routing).route(design)
+    cfg = FlowConfig()
+    _apply_route_knobs(cfg, args)
+    rr = GlobalRouter(
+        design.routing,
+        sweeps=cfg.route_sweeps,
+        maze_rounds=cfg.route_maze_rounds,
+        max_maze_nets=cfg.route_max_maze_nets,
+        cost_refresh=cfg.route_cost_refresh,
+    ).route(design)
     hpwl = design.hpwl()
     row = rr.metrics.as_row()
     row["HPWL"] = round(hpwl, 0)
@@ -162,11 +202,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-summary", action="store_true",
         help="print the stage-breakdown table of the captured trace",
     )
+    _add_route_knobs(p)
     p.set_defaults(func=_cmd_place)
 
     r = sub.add_parser("route", help="score an existing placement by routing")
     r.add_argument("--aux", required=True)
     r.add_argument("--map", action="store_true", help="print the congestion map")
+    _add_route_knobs(r)
     r.set_defaults(func=_cmd_route)
 
     s = sub.add_parser("stats", help="print benchmark statistics")

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry import Orientation, Rect, transform_offset
+from repro.obs import get_tracer
 from repro.db.node import Node, NodeKind
 from repro.db.net import Net, Pin
 from repro.db.rows import Row
@@ -73,8 +74,11 @@ class Design:
         self._node_index: dict = {}
         self._net_index: dict = {}
         self._topology_version = 0
+        self._positions_version = 0
         self._pin_cache = None
         self._pin_cache_version = -1
+        self._centers_cache = None
+        self._centers_key = (-1, -1)
 
     # ------------------------------------------------------------------
     # construction
@@ -85,6 +89,7 @@ class Design:
             raise ValueError(f"duplicate node name {node.name!r}")
         node.index = len(self.nodes)
         self.nodes.append(node)
+        node._design = self
         self._node_index[node.name] = node.index
         if node.module is not None:
             self.hierarchy.assign_cell(node.index, node.module)
@@ -194,14 +199,38 @@ class Design:
     # array interface
     # ------------------------------------------------------------------
     def pull_centers(self):
-        """Centre coordinates of every node as two float64 arrays."""
+        """Centre coordinates of every node as two float64 arrays.
+
+        The arrays are cached and invalidated by node geometry writes
+        (``Node.__setattr__`` notifies the owning design), so repeated
+        pulls between moves — router, estimators, metrics — skip the
+        Python loop.  Callers always receive fresh copies and may mutate
+        them freely.
+        """
+        key = (self._positions_version, self._topology_version)
+        if self._centers_cache is not None and self._centers_key == key:
+            cx, cy = self._centers_cache
+            get_tracer().metrics.counter("design.centers_cache.hits").inc()
+            return cx.copy(), cy.copy()
         n = len(self.nodes)
         cx = np.empty(n)
         cy = np.empty(n)
         for i, node in enumerate(self.nodes):
             cx[i] = node.cx
             cy[i] = node.cy
-        return cx, cy
+        self._centers_cache = (cx, cy)
+        self._centers_key = key
+        get_tracer().metrics.counter("design.centers_cache.misses").inc()
+        return cx.copy(), cy.copy()
+
+    def mark_positions_dirty(self) -> None:
+        """Force the next :meth:`pull_centers` to rebuild its cache.
+
+        Geometry writes through :class:`Node` attributes notify the
+        design automatically; this is the escape hatch for callers that
+        mutate node state in ways the backref cannot see.
+        """
+        self._positions_version += 1
 
     def push_centers(self, cx: np.ndarray, cy: np.ndarray, indices=None) -> None:
         """Write centre coordinates back onto movable nodes.

@@ -54,6 +54,24 @@ class Node:
     index: int = -1  # position in Design.nodes, set on add
     pins: list = field(default_factory=list)  # Pin objects, set by Design
 
+    # Backref to the owning Design (class attribute, not a dataclass
+    # field), set by ``Design.add_node``.  Geometry writes notify it so
+    # the design's cached array views (``pull_centers``, ``pin_arrays``)
+    # invalidate no matter which code path moved the node.
+    _design = None
+
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        if name in ("x", "y", "width", "height"):
+            d = self._design
+            if d is not None:
+                d._positions_version += 1
+        elif name == "orientation":
+            d = self._design
+            if d is not None:
+                d._positions_version += 1
+                d._topology_version += 1
+
     @property
     def is_movable(self) -> bool:
         return self.kind.is_movable

@@ -28,9 +28,13 @@ class FlowConfig:
     timing_weighting: bool = False
     timing_weighting_strength: float = 2.0
     timing_weighting_max: float = 5.0
-    # Evaluation router settings.
+    # Evaluation router settings (see docs/performance.md for tuning).
     route_sweeps: int = 2
     route_maze_rounds: int = 3
+    route_max_maze_nets: int = 1500  # per-round cap on maze reroutes
+    # 1 = incremental cost refresh after every rip/commit (exact);
+    # k > 1 = full cost rebuild every k reroutes (faster, coarser).
+    route_cost_refresh: int = 1
 
     @staticmethod
     def wirelength_only() -> "FlowConfig":

@@ -165,6 +165,8 @@ class NTUplace4H:
                         design.routing,
                         sweeps=cfg.route_sweeps,
                         maze_rounds=cfg.route_maze_rounds,
+                        max_maze_nets=cfg.route_max_maze_nets,
+                        cost_refresh=cfg.route_cost_refresh,
                     )
                     rr = router.route(design)
                 result.stage_seconds["route"] = time.perf_counter() - t

@@ -58,6 +58,9 @@ class CongestionInflator:
         )
         # Average pin demand contribution, calibrated once per design.
         self._pin_norm = None
+        # Look-ahead router, built lazily and reused across calls so the
+        # decomposition memo stays warm between placement iterations.
+        self._lookahead_router = None
 
     def congestion_map(self, arrays, cx: np.ndarray, cy: np.ndarray) -> np.ndarray:
         """Estimated demand/supply per routing tile.
@@ -87,8 +90,11 @@ class CongestionInflator:
         """Look-ahead routing: one pattern-only route, tile congestion."""
         from repro.route.router import GlobalRouter
 
-        router = GlobalRouter(self.spec, sweeps=1, z_refine=False, maze_rounds=0)
-        result = router.route(arrays=arrays, cx=cx, cy=cy)
+        if self._lookahead_router is None:
+            self._lookahead_router = GlobalRouter(
+                self.spec, sweeps=1, z_refine=False, maze_rounds=0
+            )
+        result = self._lookahead_router.route(arrays=arrays, cx=cx, cy=cy)
         return result.congestion_map()
 
     def update(self, arrays, cx: np.ndarray, cy: np.ndarray, movable_mask) -> np.ndarray:

@@ -32,6 +32,13 @@ class GridGraph:
         self.use_n = np.zeros_like(self.cap_n)
         self.history_e = np.zeros_like(self.cap_e)
         self.history_n = np.zeros_like(self.cap_n)
+        # Static pieces of cost_arrays(), precomputed once: capacities
+        # never change after construction and cost_arrays() runs once per
+        # reroute in the rip-up loops.
+        self._safe_cap_e = np.maximum(self.cap_e, 1e-12)
+        self._safe_cap_n = np.maximum(self.cap_n, 1e-12)
+        self._blocked_e = np.where(self.cap_e <= 0, 1e6, 0.0)
+        self._blocked_n = np.where(self.cap_n <= 0, 1e6, 0.0)
 
     # ------------------------------------------------------------------
     # usage bookkeeping
@@ -120,18 +127,60 @@ class GridGraph:
         the standard negotiated-congestion shape: ``1 + h*history +
         penalty * max(0, (use+1-cap)/cap)`` evaluated for the *next* wire.
         """
-        def cost(use, cap, hist):
-            safe_cap = np.maximum(cap, 1e-12)
+        def cost(use, safe_cap, blocked, hist):
             util = (use + 1.0) / safe_cap
             over = np.maximum(util - 1.0, 0.0)
             base = 1.0 + np.minimum(util, 1.0) ** 2
-            blocked = np.where(cap <= 0, 1e6, 0.0)
             return base + history_weight * hist + overflow_penalty * over + blocked
 
         return (
-            cost(self.use_e, self.cap_e, self.history_e),
-            cost(self.use_n, self.cap_n, self.history_n),
+            cost(self.use_e, self._safe_cap_e, self._blocked_e, self.history_e),
+            cost(self.use_n, self._safe_cap_n, self._blocked_n, self.history_n),
         )
+
+    def refresh_cost_lines(
+        self,
+        cost_e: np.ndarray,
+        cost_n: np.ndarray,
+        pe: np.ndarray,
+        pn: np.ndarray,
+        h_lines,
+        v_lines,
+        history_weight: float = 1.0,
+        overflow_penalty: float = 8.0,
+    ) -> None:
+        """Incrementally refresh cost/prefix arrays on the given lines.
+
+        After a rip or commit only the lines carrying the changed runs
+        have new usage; recomputing those rows/columns (same formula as
+        :meth:`cost_arrays`) and re-prefixing them is bitwise identical
+        to a full rebuild at a fraction of the cost.  ``h_lines`` are
+        row indices ``j`` of east-edge lines, ``v_lines`` column indices
+        ``i`` of north-edge lines; ``pe``/``pn`` are the zero-padded
+        prefix arrays from :func:`~repro.route.pattern.prefix_costs`.
+        """
+        for j in h_lines:
+            util = (self.use_e[:, j] + 1.0) / self._safe_cap_e[:, j]
+            over = np.maximum(util - 1.0, 0.0)
+            base = 1.0 + np.minimum(util, 1.0) ** 2
+            cost_e[:, j] = (
+                base
+                + history_weight * self.history_e[:, j]
+                + overflow_penalty * over
+                + self._blocked_e[:, j]
+            )
+            np.cumsum(cost_e[:, j], out=pe[1:, j])
+        for i in v_lines:
+            util = (self.use_n[i, :] + 1.0) / self._safe_cap_n[i, :]
+            over = np.maximum(util - 1.0, 0.0)
+            base = 1.0 + np.minimum(util, 1.0) ** 2
+            cost_n[i, :] = (
+                base
+                + history_weight * self.history_n[i, :]
+                + overflow_penalty * over
+                + self._blocked_n[i, :]
+            )
+            np.cumsum(cost_n[i, :], out=pn[i, 1:])
 
     def bump_history(self, increment: float = 0.5) -> None:
         """Raise history cost on currently overflowed edges (PathFinder)."""

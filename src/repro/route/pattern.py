@@ -88,9 +88,9 @@ def best_z_route(pe, pn, i0: int, j0: int, i1: int, j1: int):
     if hi_i - lo_i >= 2 and hi_j > lo_j:
         cols = np.arange(lo_i + 1, hi_i)
         cost = (
-            h_run_cost(pe, np.full(len(cols), j0), np.full(len(cols), i0), cols)
-            + v_run_cost(pn, cols, np.full(len(cols), j0), np.full(len(cols), j1))
-            + h_run_cost(pe, np.full(len(cols), j1), cols, np.full(len(cols), i1))
+            h_run_cost(pe, j0, i0, cols)
+            + v_run_cost(pn, cols, j0, j1)
+            + h_run_cost(pe, j1, cols, i1)
         )
         k = int(np.argmin(cost))
         if cost[k] < best_cost:
@@ -104,9 +104,9 @@ def best_z_route(pe, pn, i0: int, j0: int, i1: int, j1: int):
     if hi_j - lo_j >= 2 and hi_i > lo_i:
         rows = np.arange(lo_j + 1, hi_j)
         cost = (
-            v_run_cost(pn, np.full(len(rows), i0), np.full(len(rows), j0), rows)
-            + h_run_cost(pe, rows, np.full(len(rows), i0), np.full(len(rows), i1))
-            + v_run_cost(pn, np.full(len(rows), i1), rows, np.full(len(rows), j1))
+            v_run_cost(pn, i0, j0, rows)
+            + h_run_cost(pe, rows, i0, i1)
+            + v_run_cost(pn, i1, rows, j1)
         )
         k = int(np.argmin(cost))
         if cost[k] < best_cost:
