@@ -23,6 +23,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.geometry import Orientation, Rect, transform_offset
+from repro.geometry.orientation import _ROTATIONS
+
+# Orientation lookup tables for the vectorized pin transform: enum -> dense
+# code, and per code the (flip, rotation-matrix) pair transform_offset uses.
+_ORIENT_CODE = {orient: code for code, orient in enumerate(Orientation)}
+_ORIENT_XFORM = [
+    (orient.is_flipped, *_ROTATIONS[orient.rotation]) for orient in Orientation
+]
 from repro.obs import get_tracer
 from repro.db.node import Node, NodeKind
 from repro.db.net import Net, Pin
@@ -77,6 +85,12 @@ class Design:
         self._positions_version = 0
         self._pin_cache = None
         self._pin_cache_version = -1
+        # Orientation-only bumps of the topology version: the raw (N-frame)
+        # pin arrays survive them, so re-orienting macros only replays the
+        # offset transform instead of the full per-pin rebuild.
+        self._orient_version = 0
+        self._pin_base = None
+        self._pin_base_struct = -1
         self._centers_cache = None
         self._centers_key = (-1, -1)
 
@@ -281,28 +295,79 @@ class Design:
     def movable_indices(self) -> np.ndarray:
         return np.flatnonzero(self.movable_mask())
 
-    def pin_arrays(self) -> PinArrays:
-        """The CSR pin view, rebuilt only when topology/orientation changed."""
+    def pin_arrays(self, *, reference: bool = False) -> PinArrays:
+        """The CSR pin view, rebuilt only when topology/orientation changed.
+
+        The default rebuild keeps the raw N-frame offsets cached and
+        replays the orientation transform vectorized, orientation group by
+        orientation group, with the same scalar arithmetic as
+        :func:`transform_offset` — the arrays are bit-identical to the
+        original per-pin loop, which ``reference=True`` runs verbatim.
+        """
         if self._pin_cache is not None and self._pin_cache_version == self._topology_version:
             return self._pin_cache
-        num_pins = self.num_pins
-        pin_node = np.empty(num_pins, dtype=np.int32)
-        pin_dx = np.empty(num_pins)
-        pin_dy = np.empty(num_pins)
-        net_ptr = np.empty(len(self.nets) + 1, dtype=np.int64)
-        net_weight = np.empty(len(self.nets))
-        k = 0
-        net_ptr[0] = 0
-        for i, net in enumerate(self.nets):
-            for pin in net.pins:
-                node = self.nodes[pin.node]
-                dx, dy = transform_offset(pin.dx, pin.dy, node.orientation)
-                pin_node[k] = pin.node
-                pin_dx[k] = dx
-                pin_dy[k] = dy
-                k += 1
-            net_ptr[i + 1] = k
-            net_weight[i] = net.weight
+        if reference:
+            num_pins = self.num_pins
+            pin_node = np.empty(num_pins, dtype=np.int32)
+            pin_dx = np.empty(num_pins)
+            pin_dy = np.empty(num_pins)
+            net_ptr = np.empty(len(self.nets) + 1, dtype=np.int64)
+            net_weight = np.empty(len(self.nets))
+            k = 0
+            net_ptr[0] = 0
+            for i, net in enumerate(self.nets):
+                for pin in net.pins:
+                    node = self.nodes[pin.node]
+                    dx, dy = transform_offset(pin.dx, pin.dy, node.orientation)
+                    pin_node[k] = pin.node
+                    pin_dx[k] = dx
+                    pin_dy[k] = dy
+                    k += 1
+                net_ptr[i + 1] = k
+                net_weight[i] = net.weight
+            self._pin_cache = PinArrays(pin_node, pin_dx, pin_dy, net_ptr, net_weight)
+            self._pin_cache_version = self._topology_version
+            return self._pin_cache
+        # Orientation bumps leave the structural part untouched.
+        struct = self._topology_version - self._orient_version
+        if self._pin_base is None or self._pin_base_struct != struct:
+            num_pins = self.num_pins
+            pin_node = np.empty(num_pins, dtype=np.int32)
+            dx0 = np.empty(num_pins)
+            dy0 = np.empty(num_pins)
+            net_ptr = np.empty(len(self.nets) + 1, dtype=np.int64)
+            net_weight = np.empty(len(self.nets))
+            k = 0
+            net_ptr[0] = 0
+            for i, net in enumerate(self.nets):
+                for pin in net.pins:
+                    pin_node[k] = pin.node
+                    dx0[k] = pin.dx
+                    dy0[k] = pin.dy
+                    k += 1
+                net_ptr[i + 1] = k
+                net_weight[i] = net.weight
+            self._pin_base = (pin_node, dx0, dy0, net_ptr, net_weight)
+            self._pin_base_struct = struct
+        pin_node, dx0, dy0, net_ptr, net_weight = self._pin_base
+        codes = np.fromiter(
+            (_ORIENT_CODE[n.orientation] for n in self.nodes),
+            dtype=np.int8,
+            count=len(self.nodes),
+        )
+        pcodes = codes[pin_node] if len(pin_node) else codes[:0]
+        pin_dx = np.empty_like(dx0)
+        pin_dy = np.empty_like(dy0)
+        for code, (flip, a, b, c, d) in enumerate(_ORIENT_XFORM):
+            sel = pcodes == code
+            if not sel.any():
+                continue
+            vx = dx0[sel]
+            vy = dy0[sel]
+            if flip:
+                vx = -vx
+            pin_dx[sel] = a * vx + b * vy
+            pin_dy[sel] = c * vx + d * vy
         self._pin_cache = PinArrays(pin_node, pin_dx, pin_dy, net_ptr, net_weight)
         self._pin_cache_version = self._topology_version
         return self._pin_cache
@@ -313,6 +378,7 @@ class Design:
         node.orientation = orient
         node.move_center_to(cx, cy)
         self._topology_version += 1
+        self._orient_version += 1
 
     # ------------------------------------------------------------------
     # metrics & checks

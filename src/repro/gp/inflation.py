@@ -33,6 +33,7 @@ class CongestionInflator:
         pin_weight: float = 0.5,
         wire_width: float = 1.0,
         estimator: str = "rudy",
+        reference: bool = False,
     ):
         if design.routing is None:
             raise ValueError("congestion inflation requires design.routing")
@@ -47,6 +48,7 @@ class CongestionInflator:
         self.pin_weight = pin_weight
         self.wire_width = wire_width
         self.estimator = estimator
+        self.reference = bool(reference)
         w, h = design.placed_sizes()
         self.base_areas = w * h
         self.factors = np.ones(len(design.nodes))
@@ -73,7 +75,9 @@ class CongestionInflator:
         if self.estimator == "router":
             return self._router_map(arrays, cx, cy)
         grid = self.spec.grid
-        demand = rudy_map(arrays, cx, cy, grid, wire_width=self.wire_width)
+        demand = rudy_map(
+            arrays, cx, cy, grid, wire_width=self.wire_width, reference=self.reference
+        )
         pins = pin_density_map(arrays, cx, cy, grid)
         if self._pin_norm is None:
             mean_pin = float(pins.mean())

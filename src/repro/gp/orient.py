@@ -12,6 +12,8 @@ objective, without the soft-force machinery.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.db import Design, NodeKind
 from repro.geometry import Orientation, transform_offset
 
@@ -62,14 +64,79 @@ def best_orientation(design: Design, node, candidates=None):
     return best, best_cost
 
 
+def _best_orientation_fast(design: Design, node, candidates):
+    """Vectorized :func:`best_orientation`; identical decisions.
+
+    Pin coordinates of the macro's incident nets are gathered once
+    (neighbours do not move between candidates), each candidate only
+    refreshes the macro's own pins, and the per-net extrema come from one
+    ``reduceat`` pass.  Every per-pin coordinate is produced by the same
+    scalar arithmetic as the loop version, and the cost is accumulated in
+    the same net order, so the candidate comparisons see the same values.
+    """
+    nets = incident_nets(design, node)
+    if not nets:
+        # Zero incident cost: the loop version commits the first candidate.
+        return (candidates[0], 0.0) if candidates else (node.orientation, float("inf"))
+    macro_index = node.index
+    ucx, ucy = node.cx, node.cy
+    starts = []
+    weights = []
+    fx, fy = [], []
+    self_slots = []
+    k = 0
+    for n in nets:
+        net = design.nets[n]
+        starts.append(k)
+        weights.append(net.weight)
+        for pin in net.pins:
+            if pin.node == macro_index:
+                self_slots.append((k, pin.dx, pin.dy))
+                fx.append(0.0)
+                fy.append(0.0)
+            else:
+                other = design.nodes[pin.node]
+                dx, dy = transform_offset(pin.dx, pin.dy, other.orientation)
+                fx.append(other.cx + dx)
+                fy.append(other.cy + dy)
+            k += 1
+    px = np.array(fx)
+    py = np.array(fy)
+    starts = np.array(starts, dtype=np.int64)
+    num_nets = len(nets)
+    best = node.orientation
+    best_cost = float("inf")
+    for orient in candidates:
+        for slot, pdx, pdy in self_slots:
+            dx, dy = transform_offset(pdx, pdy, orient)
+            px[slot] = ucx + dx
+            py[slot] = ucy + dy
+        hp = (
+            np.maximum.reduceat(px, starts) - np.minimum.reduceat(px, starts)
+        ) + (np.maximum.reduceat(py, starts) - np.minimum.reduceat(py, starts))
+        cost = 0.0
+        for j in range(num_nets):
+            cost += weights[j] * float(hp[j])
+        if cost < best_cost - 1e-12:
+            best_cost = cost
+            best = orient
+    return best, best_cost
+
+
 def optimize_macro_orientations(
-    design: Design, *, allow_rotation: bool = True, allow_flip: bool = True
+    design: Design,
+    *,
+    allow_rotation: bool = True,
+    allow_flip: bool = True,
+    reference: bool = False,
 ) -> int:
     """One orientation pass over every movable macro.
 
     Returns the number of macros whose orientation changed.  Rotations
     swap the outline about the centre; the caller re-pulls positions
-    afterwards (pin caches invalidate automatically).
+    afterwards (pin caches invalidate automatically).  ``reference=True``
+    evaluates candidates with the original per-pin loop; the default uses
+    the vectorized evaluation, which commits the same orientations.
     """
     candidates = []
     for orient in Orientation:
@@ -78,11 +145,12 @@ def optimize_macro_orientations(
         if not allow_flip and orient.is_flipped:
             continue
         candidates.append(orient)
+    evaluate = best_orientation if reference else _best_orientation_fast
     changed = 0
     for node in design.nodes:
         if node.kind is not NodeKind.MACRO:
             continue
-        best, _ = best_orientation(design, node, candidates)
+        best, _ = evaluate(design, node, candidates)
         if best is not node.orientation:
             design.set_orientation(node, best)
             changed += 1

@@ -184,6 +184,7 @@ class GlobalPlacer:
             fixed_rects=fixed_rects,
             target_density=cfg.target_density,
             target_scale=target_scale,
+            reference=cfg.reference,
         )
         fence = FencePenalty(design)
         inflator = None
@@ -195,11 +196,18 @@ class GlobalPlacer:
                 total_max=cfg.inflation_total_max,
                 threshold=cfg.congestion_threshold,
                 estimator=cfg.congestion_estimator,
+                reference=cfg.reference,
             )
 
         gamma = cfg.gamma_factor * max(grid.bin_w, grid.bin_h)
-        arrays = design.pin_arrays()
-        wl_model = make_model(cfg.wirelength_model, arrays, len(design.nodes), gamma)
+        arrays = design.pin_arrays(reference=cfg.reference)
+        wl_model = make_model(
+            cfg.wirelength_model,
+            arrays,
+            len(design.nodes),
+            gamma,
+            reference=cfg.reference,
+        )
 
         # Bounds for the projection (centre coordinates).
         half_w = widths[mov] / 2.0
@@ -218,25 +226,115 @@ class GlobalPlacer:
             cx[mov] = v[:m]
             cy[mov] = v[m:]
 
-        def project(v: np.ndarray) -> np.ndarray:
-            out = v.copy()
-            out[:m] = np.clip(out[:m], lo_x, hi_x)
-            out[m:] = np.clip(out[m:], lo_y, hi_y)
-            return out
+        if cfg.reference:
+            # The original objective assembly, kept verbatim: fresh copies
+            # in the projection, full-size gradient temporaries, and a
+            # concatenate per evaluation.
+            def project(v: np.ndarray) -> np.ndarray:
+                out = v.copy()
+                out[:m] = np.clip(out[:m], lo_x, hi_x)
+                out[m:] = np.clip(out[m:], lo_y, hi_y)
+                return out
 
-        def objective(v: np.ndarray):
-            unpack(v)
-            wl_v, wl_gx, wl_gy = wl_model.value_grad(cx, cy)
-            d_v, d_gx, d_gy = density.value_grad(cx, cy)
-            f = wl_v + state["lam"] * d_v
-            gx = wl_gx + state["lam"] * d_gx
-            gy = wl_gy + state["lam"] * d_gy
-            if fence.active:
-                f_v, f_gx, f_gy = fence.value_grad(cx, cy)
-                f += state["mu"] * f_v
-                gx += state["mu"] * f_gx
-                gy += state["mu"] * f_gy
-            return f, np.concatenate([gx[mov], gy[mov]])
+            def objective(v: np.ndarray):
+                unpack(v)
+                wl_v, wl_gx, wl_gy = wl_model.value_grad(cx, cy)
+                d_v, d_gx, d_gy = density.value_grad(cx, cy)
+                f = wl_v + state["lam"] * d_v
+                gx = wl_gx + state["lam"] * d_gx
+                gy = wl_gy + state["lam"] * d_gy
+                if fence.active:
+                    f_v, f_gx, f_gy = fence.value_grad(cx, cy)
+                    f += state["mu"] * f_v
+                    gx += state["mu"] * f_gx
+                    gy += state["mu"] * f_gy
+                return f, np.concatenate([gx[mov], gy[mov]])
+        else:
+            # Optimized assembly: clip in place (the CG owns its trial
+            # buffers), gather movable gradients straight into one reused
+            # output vector.  Arithmetic matches the reference term by
+            # term, so values and gradients are bit-identical.
+            g_buf = np.empty(2 * m)
+            t_mov = np.empty(m)
+
+            def project(v: np.ndarray) -> np.ndarray:
+                np.clip(v[:m], lo_x, hi_x, out=v[:m])
+                np.clip(v[m:], lo_y, hi_y, out=v[m:])
+                return v
+
+            def objective(v: np.ndarray):
+                unpack(v)
+                wl_v, wl_gx, wl_gy = wl_model.value_grad(cx, cy)
+                d_v, d_gx, d_gy = density.value_grad(cx, cy)
+                lam = state["lam"]
+                f = wl_v + lam * d_v
+                gx = g_buf[:m]
+                gy = g_buf[m:]
+                np.take(wl_gx, mov, out=gx)
+                np.take(d_gx, mov, out=t_mov)
+                np.multiply(t_mov, lam, out=t_mov)
+                gx += t_mov
+                np.take(wl_gy, mov, out=gy)
+                np.take(d_gy, mov, out=t_mov)
+                np.multiply(t_mov, lam, out=t_mov)
+                gy += t_mov
+                if fence.active:
+                    f_v, f_gx, f_gy = fence.value_grad(cx, cy)
+                    mu = state["mu"]
+                    f += mu * f_v
+                    np.take(f_gx, mov, out=t_mov)
+                    np.multiply(t_mov, mu, out=t_mov)
+                    gx += t_mov
+                    np.take(f_gy, mov, out=t_mov)
+                    np.multiply(t_mov, mu, out=t_mov)
+                    gy += t_mov
+                return f, g_buf
+
+            # Value/gradient split for the CG line search: rejected trial
+            # points only pay for the value half; the gradient of an
+            # accepted point is finished from the models' stashed tables
+            # with the same op sequence as ``objective``, so the split is
+            # bit-identical to a full evaluation.
+            fence_cache = [None, None]
+
+            def probe(v: np.ndarray) -> float:
+                unpack(v)
+                wl_v = wl_model.value_probe(cx, cy)
+                d_v = density.value_probe(cx, cy)
+                f = wl_v + state["lam"] * d_v
+                if fence.active:
+                    f_v, f_gx, f_gy = fence.value_grad(cx, cy)
+                    f += state["mu"] * f_v
+                    fence_cache[0] = f_gx
+                    fence_cache[1] = f_gy
+                return f
+
+            def finish_grad() -> np.ndarray:
+                wl_gx, wl_gy = wl_model.finish_grad()
+                d_gx, d_gy = density.finish_grad()
+                lam = state["lam"]
+                gx = g_buf[:m]
+                gy = g_buf[m:]
+                np.take(wl_gx, mov, out=gx)
+                np.take(d_gx, mov, out=t_mov)
+                np.multiply(t_mov, lam, out=t_mov)
+                gx += t_mov
+                np.take(wl_gy, mov, out=gy)
+                np.take(d_gy, mov, out=t_mov)
+                np.multiply(t_mov, lam, out=t_mov)
+                gy += t_mov
+                if fence.active:
+                    mu = state["mu"]
+                    np.take(fence_cache[0], mov, out=t_mov)
+                    np.multiply(t_mov, mu, out=t_mov)
+                    gx += t_mov
+                    np.take(fence_cache[1], mov, out=t_mov)
+                    np.multiply(t_mov, mu, out=t_mov)
+                    gy += t_mov
+                return g_buf
+
+            objective.probe = probe
+            objective.finish_grad = finish_grad
 
         # -- initialize the penalty weights from the gradient balance.
         _, wl_gx, wl_gy = wl_model.value_grad(cx, cy)
@@ -262,7 +360,9 @@ class GlobalPlacer:
 
         step_init = cfg.step_init_bins * max(grid.bin_w, grid.bin_h)
         step_max = cfg.step_max_bins * max(grid.bin_w, grid.bin_h)
-        overflow = self._overflow(design, density, cx, cy, widths, heights, mov)
+        overflow = self._overflow(
+            design, density, cx, cy, widths, heights, mov, reference=cfg.reference
+        )
         v = project(pack())
         unpack(v)
 
@@ -289,13 +389,19 @@ class GlobalPlacer:
                         changed = self._orientation_pass(design, cx, cy)
                     report.orientation_changes += changed
                     if changed:
-                        arrays = design.pin_arrays()
-                        wl_model = make_model(
-                            cfg.wirelength_model,
-                            arrays,
-                            len(design.nodes),
-                            wl_model.gamma,
-                        )
+                        arrays = design.pin_arrays(reference=cfg.reference)
+                        if cfg.reference:
+                            wl_model = make_model(
+                                cfg.wirelength_model,
+                                arrays,
+                                len(design.nodes),
+                                wl_model.gamma,
+                                reference=True,
+                            )
+                        else:
+                            # Orientation changes swap pin offsets but keep
+                            # the topology: reuse the CSR compaction.
+                            wl_model.rebind(arrays)
 
                 with tracer.span("cg"):
                     result = minimize_cg(
@@ -305,12 +411,14 @@ class GlobalPlacer:
                         step_init=step_init,
                         step_max=step_max,
                         project=project,
+                        reference=cfg.reference,
                     )
                 v = result.x
                 unpack(v)
                 with tracer.span("gradient"):
                     overflow = self._overflow(
-                        design, density, cx, cy, widths, heights, mov
+                        design, density, cx, cy, widths, heights, mov,
+                        reference=cfg.reference,
                     )
                     wl_exact = exact_hpwl(arrays, cx, cy)
                     stats = IterationStats(
@@ -356,7 +464,9 @@ class GlobalPlacer:
 
         design.push_centers(cx, cy, indices=mov)
         if cfg.optimize_orientations and not cfg.freeze_macros:
-            report.orientation_changes += optimize_macro_orientations(design)
+            report.orientation_changes += optimize_macro_orientations(
+                design, reference=cfg.reference
+            )
         report.fence_projected = project_into_fences(design)
         return overflow
 
@@ -370,7 +480,7 @@ class GlobalPlacer:
     def _orientation_pass(self, design: Design, cx, cy) -> int:
         """Run an orientation pass at the current (array) positions."""
         design.push_centers(cx, cy)
-        changed = optimize_macro_orientations(design)
+        changed = optimize_macro_orientations(design, reference=self.config.reference)
         if changed:
             ncx, ncy = design.pull_centers()
             cx[:] = ncx
@@ -430,7 +540,9 @@ class GlobalPlacer:
         return BinGrid.with_bin_target(design.core, bins)
 
     @staticmethod
-    def _overflow(design, density: BellDensity, cx, cy, widths, heights, mov) -> float:
+    def _overflow(
+        design, density: BellDensity, cx, cy, widths, heights, mov, reference=False
+    ) -> float:
         """Exact-overlap density overflow at the current array positions.
 
         Uses physical (non-inflated) areas against the free capacity of
@@ -441,7 +553,7 @@ class GlobalPlacer:
         xh = cx[mov] + widths[mov] / 2.0
         yl = cy[mov] - heights[mov] / 2.0
         yh = cy[mov] + heights[mov] / 2.0
-        usage = grid.rasterize_rects(xl, yl, xh, yh)
+        usage = grid.rasterize_rects(xl, yl, xh, yh, reference=reference)
         total = float((widths[mov] * heights[mov]).sum())
         if total <= 0:
             return 0.0

@@ -21,6 +21,7 @@ def rudy_map(
     cy: np.ndarray,
     grid: BinGrid,
     wire_width: float = 1.0,
+    reference: bool = False,
 ) -> np.ndarray:
     """Wire-demand density per bin.
 
@@ -43,7 +44,12 @@ def rudy_map(
     box_area = np.maximum((xh - xl) * (yh - yl), 1e-12)
     # values are per-unit-area densities; integrating a box recovers its
     # HPWL * wire_width demand.
-    return grid.rasterize_rects(xl, yl, xh, yh, values=demand / box_area) / grid.bin_area
+    return (
+        grid.rasterize_rects(
+            xl, yl, xh, yh, values=demand / box_area, reference=reference
+        )
+        / grid.bin_area
+    )
 
 
 def pin_density_map(arrays, cx: np.ndarray, cy: np.ndarray, grid: BinGrid) -> np.ndarray:
