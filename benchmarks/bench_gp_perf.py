@@ -109,6 +109,13 @@ def run_bench(design_name: str, repeats: int) -> tuple[dict, Tracer]:
             "gp_iterations": sum(1 for _ in report.iterations),
         },
         "identical_placements": True,
+        # True when any resilience fallback fired mid-bench; the
+        # regression gate refuses degraded records.
+        "degraded": bool(
+            report.guard_rollbacks
+            or report.guard_exhausted
+            or report.budget_exhausted
+        ),
     }
     return record, tracer
 

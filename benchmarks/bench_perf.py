@@ -101,6 +101,10 @@ def run_bench(design_name: str, repeats: int, seed: int) -> dict:
             "vias": ref_result.metrics.vias,
         },
         "identical_metrics": True,
+        # The standalone router has no fallback path — it either
+        # completes exactly or this bench raises; the field keeps the
+        # record schema uniform for the regression gate.
+        "degraded": False,
     }
 
 

@@ -52,6 +52,14 @@ def compare(fresh: dict, baseline: dict) -> list[str]:
     for flag in REQUIRED_FLAGS:
         if flag in fresh and not fresh[flag]:
             failures.append(f"{flag} is false in the fresh record")
+    # A degraded record means a resilience fallback fired during the
+    # bench run (numerical rollback, watchdog expiry, stage fallback) —
+    # its metrics are not comparable and the run itself needs a look.
+    if fresh.get("degraded"):
+        failures.append(
+            "fresh record is degraded (a resilience fallback fired; "
+            "see docs/robustness.md)"
+        )
     fresh_metrics = fresh.get("metrics", {})
     base_metrics = baseline.get("metrics", {})
     for name, base_value in sorted(base_metrics.items()):

@@ -1,8 +1,9 @@
 """Command-line interface.
 
-Four subcommands mirror how the original tools were driven::
+The subcommands mirror how the original tools were driven::
 
     python -m repro generate --suite rh02 --out bench_dir
+    python -m repro validate --aux bench_dir/rh02.aux
     python -m repro place    --aux bench_dir/rh02.aux --out placed_dir
     python -m repro route    --aux placed_dir/rh02.aux
     python -m repro stats    --aux bench_dir/rh02.aux
@@ -10,7 +11,15 @@ Four subcommands mirror how the original tools were driven::
 ``place`` runs the full NTUplace4h flow (``--wirelength-only`` disables
 the routability machinery; ``--baseline quadratic`` runs the quadratic
 placer through the same back-end) and writes the placed design back in
-Bookshelf format, plus an optional SVG.
+Bookshelf format, plus an optional SVG.  ``--checkpoint-dir`` makes the
+flow write a resumable checkpoint after every stage and ``--resume``
+continues from it; ``--strict`` turns a degraded result into a nonzero
+exit.  On flow failure, ``place``/``route`` exit nonzero and print the
+failing stage plus the last trace event (see docs/robustness.md).
+
+Exit codes: 0 success; 1 flow finished but the placement is not legal
+(or, with ``--strict``, the result is degraded); 2 usage or input
+error; 3 the flow itself failed.
 """
 
 from __future__ import annotations
@@ -26,7 +35,6 @@ from repro.flow import FlowConfig, NTUplace4H
 from repro.io import read_bookshelf, write_bookshelf
 from repro.metrics import format_table
 from repro.obs import (
-    NULL_TRACER,
     Tracer,
     configure_logging,
     format_trace_summary,
@@ -34,9 +42,45 @@ from repro.obs import (
     use_tracer,
     write_jsonl,
 )
+from repro.resilience import validate_design
 from repro.route import GlobalRouter, scaled_hpwl
 
 _log = get_logger("cli")
+
+
+def _read_design(args):
+    """Load the benchmark, turning parse errors into a (None, code) exit."""
+    try:
+        return read_bookshelf(args.aux), 0
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load {args.aux}: {exc}", file=sys.stderr)
+        return None, 2
+
+
+def _report_flow_failure(tracer, exc) -> None:
+    """Print the failing stage and the last trace event to stderr."""
+    errored = [s for s in tracer.finished_spans() if s.error]
+    # Spans finish children-first, so the first errored span is the
+    # innermost frame — its path is the most precise failure location.
+    stage = errored[0].path if errored else "(no stage recorded)"
+    print(f"error: flow failed in stage {stage}: {exc}", file=sys.stderr)
+    events = tracer.events()
+    if events:
+        last = events[-1]
+        where = f" at {last.path}" if last.path else ""
+        print(
+            f"last trace event: {last.name}{where} {last.attrs}", file=sys.stderr
+        )
+
+
+def _print_degradations(result) -> None:
+    for entry in result.degradation:
+        detail = {k: v for k, v in entry.items() if k not in ("stage", "reason")}
+        suffix = f" {detail}" if detail else ""
+        print(
+            f"degraded: stage={entry['stage']} reason={entry['reason']}{suffix}",
+            file=sys.stderr,
+        )
 
 
 def _cmd_generate(args) -> int:
@@ -57,9 +101,40 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _cmd_validate(args) -> int:
+    design, code = _read_design(args)
+    if design is None:
+        return code
+    report = validate_design(design, sanitize=args.sanitize)
+    if report.issues:
+        print(format_table([i.as_row() for i in report.issues], title="validation"))
+    print(report.summary())
+    if not report.ok:
+        print(
+            f"error: {len(report.fatal)} fatal issues; the flow would refuse "
+            "to run this design",
+            file=sys.stderr,
+        )
+        return 2
+    if args.sanitize and args.out:
+        aux = write_bookshelf(design, args.out)
+        print(f"wrote sanitized benchmark {aux}")
+    return 0
+
+
 def _cmd_place(args) -> int:
-    design = read_bookshelf(args.aux)
-    tracing = bool(args.trace or args.trace_summary)
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.baseline and (args.resume or args.checkpoint_dir):
+        print(
+            "error: --checkpoint-dir/--resume do not apply to --baseline runs",
+            file=sys.stderr,
+        )
+        return 2
+    design, code = _read_design(args)
+    if design is None:
+        return code
     if args.trace:
         # Fail fast on an unwritable path before a minutes-long run.
         try:
@@ -68,16 +143,33 @@ def _cmd_place(args) -> int:
         except OSError as exc:
             print(f"error: cannot write trace file: {exc}", file=sys.stderr)
             return 2
-    tracer = Tracer() if tracing else NULL_TRACER
-    with use_tracer(tracer):
-        if args.baseline:
-            result = run_baseline_flow(design, args.baseline, route=not args.no_route)
-        else:
-            cfg = FlowConfig.wirelength_only() if args.wirelength_only else FlowConfig()
-            if args.no_dp:
-                cfg.run_dp = False
-            _apply_route_knobs(cfg, args)
-            result = NTUplace4H(cfg).run(design, route=not args.no_route)
+    # Always capture a trace: on failure the failing stage and the last
+    # event are reported; --trace/--trace-summary just export it.
+    tracer = Tracer()
+    try:
+        with use_tracer(tracer):
+            if args.baseline:
+                result = run_baseline_flow(
+                    design, args.baseline, route=not args.no_route
+                )
+            else:
+                cfg = (
+                    FlowConfig.wirelength_only()
+                    if args.wirelength_only
+                    else FlowConfig()
+                )
+                if args.no_dp:
+                    cfg.run_dp = False
+                cfg.checkpoint_dir = args.checkpoint_dir
+                _apply_route_knobs(cfg, args)
+                result = NTUplace4H(cfg).run(
+                    design,
+                    route=not args.no_route,
+                    resume_from=args.checkpoint_dir if args.resume else None,
+                )
+    except Exception as exc:
+        _report_flow_failure(tracer, exc)
+        return 3
     if args.trace:
         count = write_jsonl(
             tracer, args.trace, meta={"command": "place", "design": design.name}
@@ -98,6 +190,11 @@ def _cmd_place(args) -> int:
 
         placement_to_svg(design, args.svg)
         print(f"wrote {args.svg}")
+    if result.degraded:
+        _print_degradations(result)
+        if args.strict:
+            print("error: result is degraded and --strict is set", file=sys.stderr)
+            return 1
     return 0 if result.legal else 1
 
 
@@ -133,19 +230,27 @@ def _add_route_knobs(p) -> None:
 
 
 def _cmd_route(args) -> int:
-    design = read_bookshelf(args.aux)
+    design, code = _read_design(args)
+    if design is None:
+        return code
     if design.routing is None:
         print("error: benchmark has no .route file", file=sys.stderr)
         return 2
     cfg = FlowConfig()
     _apply_route_knobs(cfg, args)
-    rr = GlobalRouter(
-        design.routing,
-        sweeps=cfg.route_sweeps,
-        maze_rounds=cfg.route_maze_rounds,
-        max_maze_nets=cfg.route_max_maze_nets,
-        cost_refresh=cfg.route_cost_refresh,
-    ).route(design)
+    tracer = Tracer()
+    try:
+        with use_tracer(tracer):
+            rr = GlobalRouter(
+                design.routing,
+                sweeps=cfg.route_sweeps,
+                maze_rounds=cfg.route_maze_rounds,
+                max_maze_nets=cfg.route_max_maze_nets,
+                cost_refresh=cfg.route_cost_refresh,
+            ).route(design)
+    except Exception as exc:
+        _report_flow_failure(tracer, exc)
+        return 3
     hpwl = design.hpwl()
     row = rr.metrics.as_row()
     row["HPWL"] = round(hpwl, 0)
@@ -186,6 +291,15 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--out", required=True, help="output directory")
     g.set_defaults(func=_cmd_generate)
 
+    v = sub.add_parser("validate", help="check a benchmark against the flow's rules")
+    v.add_argument("--aux", required=True, help="Bookshelf .aux file")
+    v.add_argument(
+        "--sanitize", action="store_true",
+        help="repair fixable issues in place (as the flow itself would)",
+    )
+    v.add_argument("--out", help="directory for the sanitized benchmark")
+    v.set_defaults(func=_cmd_validate)
+
     p = sub.add_parser("place", help="run the placement flow on a benchmark")
     p.add_argument("--aux", required=True, help="Bookshelf .aux file")
     p.add_argument("--out", help="directory for the placed benchmark")
@@ -201,6 +315,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace-summary", action="store_true",
         help="print the stage-breakdown table of the captured trace",
+    )
+    p.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="write a resumable checkpoint here after every completed stage",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="resume from the checkpoint in --checkpoint-dir, skipping "
+        "completed stages",
+    )
+    p.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when the flow degrades (fallbacks, budget expiry)",
     )
     _add_route_knobs(p)
     p.set_defaults(func=_cmd_place)

@@ -137,6 +137,36 @@ class Design:
         self._topology_version += 1
         return pin
 
+    def remove_nets(self, indices) -> int:
+        """Drop the nets at ``indices`` and reindex the survivors.
+
+        Pins of removed nets are detached from their nodes; remaining
+        pins have their ``net`` backref updated.  Returns the number of
+        nets removed.  Used by design sanitization to drop empty nets.
+        """
+        doomed = set(indices)
+        if not doomed:
+            return 0
+        for idx in doomed:
+            if not 0 <= idx < len(self.nets):
+                raise ValueError(f"cannot remove unknown net index {idx}")
+            net = self.nets[idx]
+            for pin in net.pins:
+                if 0 <= pin.node < len(self.nodes):
+                    node_pins = self.nodes[pin.node].pins
+                    if pin in node_pins:
+                        node_pins.remove(pin)
+        survivors = [net for net in self.nets if net.index not in doomed]
+        self.nets = survivors
+        self._net_index = {}
+        for new_idx, net in enumerate(survivors):
+            net.index = new_idx
+            for pin in net.pins:
+                pin.net = new_idx
+            self._net_index[net.name] = new_idx
+        self._topology_version += 1
+        return len(doomed)
+
     def add_row(self, row: Row) -> Row:
         row.index = len(self.rows)
         self.rows.append(row)

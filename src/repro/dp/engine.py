@@ -47,6 +47,7 @@ class DPReport:
     hpwl_after: float = 0.0
     passes: list = field(default_factory=list)  # (name, accepted, gain)
     runtime_seconds: float = 0.0
+    budget_exhausted: bool = False  # stage watchdog expired between rounds
 
     @property
     def improvement(self) -> float:
@@ -70,7 +71,10 @@ class DetailedPlacer:
     def __init__(self, config: DPConfig | None = None):
         self.config = config or DPConfig()
 
-    def run(self, design, submap) -> DPReport:
+    def run(self, design, submap, *, watchdog=None) -> DPReport:
+        """Improve ``design`` in place; ``watchdog`` (optional
+        :class:`repro.resilience.StageWatchdog`) stops cleanly between
+        rounds when the stage budget runs out."""
         cfg = self.config
         tracer = get_tracer()
         t0 = time.perf_counter()
@@ -86,6 +90,10 @@ class DetailedPlacer:
             return gain
 
         for rnd in range(cfg.rounds):
+            if watchdog is not None and watchdog.expired():
+                report.budget_exhausted = True
+                tracer.event("watchdog.expired", round=rnd, **watchdog.describe())
+                break
             with tracer.span(f"round[{rnd}]"):
                 round_gain = 0.0
                 if cfg.global_swap:
@@ -117,7 +125,12 @@ class DetailedPlacer:
                     round_gain += note("matching", acc, gain)
             if round_gain < cfg.min_gain_per_round * max(report.hpwl_before, 1.0):
                 break
-        if cfg.congestion_aware and cfg.congestion_spread and design.routing is not None:
+        if (
+            cfg.congestion_aware
+            and cfg.congestion_spread
+            and design.routing is not None
+            and not report.budget_exhausted
+        ):
             from repro.dp.spreading import congestion_spread_pass
 
             with tracer.span("congestion_spread"):

@@ -36,6 +36,20 @@ class FlowConfig:
     # k > 1 = full cost rebuild every k reroutes (faster, coarser).
     route_cost_refresh: int = 1
 
+    # Resilience (see docs/robustness.md).
+    # Validate the design at flow entry and refuse to run on fatal issues.
+    validate_input: bool = True
+    # Repair fixable issues in place (zero-area cells, stray pins, empty
+    # nets, fence rects outside the core, off-chip terminals).
+    sanitize: bool = True
+    # Write a resumable checkpoint.json here after every completed stage.
+    checkpoint_dir: str | None = None
+    # Soft per-stage time budgets in seconds, keyed by stage name
+    # ("gp", "legal", "dp", "route"); missing/None = unlimited.  Stages
+    # wind down at their next loop boundary and the flow result is
+    # marked degraded.
+    stage_budget: dict = field(default_factory=dict)
+
     @staticmethod
     def wirelength_only() -> "FlowConfig":
         """The paper's baseline: identical flow, routability levers off."""

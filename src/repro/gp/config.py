@@ -67,6 +67,18 @@ class GPConfig:
     cluster_max_levels: int = 2  # how deep the V-cycle may recurse
     coarse_iteration_fraction: float = 0.5  # share of outers at coarse level
 
+    # Resilience (repro.resilience.guards): NaN/Inf and divergence
+    # detection on the outer loop with rollback to the last good iterate
+    # plus step/smoothing backoff.  The guard never perturbs a healthy
+    # trajectory (the golden-equivalence tests pin this); it only decides
+    # what to do when an iteration is already poisoned.
+    numerical_guard: bool = True
+    guard_max_retries: int = 3
+    guard_divergence_ratio: float = 20.0
+    guard_divergence_patience: int = 2
+    guard_backoff: float = 0.5
+    guard_gamma_inflate: float = 2.0
+
     # Misc.
     seed: int = 7
     verbose: bool = False

@@ -26,6 +26,8 @@ from repro.gp.orient import optimize_macro_orientations
 from repro.grids import BinGrid
 from repro.obs import configure_logging, get_logger, get_tracer
 from repro.optim import minimize_cg
+from repro.resilience.faults import check_fault, fault_armed
+from repro.resilience.guards import NumericalGuard, all_finite
 from repro.wirelength import hpwl as exact_hpwl
 from repro.wirelength import make_model
 
@@ -60,6 +62,10 @@ class GPReport:
     coarse_iterations: list = field(default_factory=list)
     orientation_changes: int = 0
     fence_projected: int = 0
+    guard_rollbacks: int = 0        # numerical-guard recoveries taken
+    guard_events: list = field(default_factory=list)  # GuardEvent dicts
+    guard_exhausted: bool = False   # retries ran out; kept last-good state
+    budget_exhausted: bool = False  # stage watchdog expired mid-descent
 
     @property
     def num_iterations(self) -> int:
@@ -94,8 +100,15 @@ class GlobalPlacer:
         self.config = config or GPConfig()
 
     # ------------------------------------------------------------------
-    def place(self, design: Design, *, warm_start: bool = False) -> GPReport:
-        """Run global placement, mutating node positions in ``design``."""
+    def place(
+        self, design: Design, *, warm_start: bool = False, watchdog=None
+    ) -> GPReport:
+        """Run global placement, mutating node positions in ``design``.
+
+        ``watchdog`` is an optional :class:`repro.resilience.StageWatchdog`;
+        when its budget expires the outer loop winds down at the next
+        iteration boundary and the report is marked ``budget_exhausted``.
+        """
         cfg = self.config
         if cfg.verbose:
             configure_logging(logging.INFO)
@@ -127,7 +140,12 @@ class GlobalPlacer:
                 )
                 clustered.transfer_positions()
 
-        flat = self._place_flat(design, report, warm=bool(report.coarse_iterations) or warm_start)
+        flat = self._place_flat(
+            design,
+            report,
+            warm=bool(report.coarse_iterations) or warm_start,
+            watchdog=watchdog,
+        )
         report.final_hpwl = design.hpwl()
         report.final_overflow = flat
         report.runtime_seconds = time.perf_counter() - t0
@@ -147,7 +165,9 @@ class GlobalPlacer:
         return coarse
 
     # ------------------------------------------------------------------
-    def _place_flat(self, design: Design, report: GPReport, warm: bool) -> float:
+    def _place_flat(
+        self, design: Design, report: GPReport, warm: bool, watchdog=None
+    ) -> float:
         cfg = self.config
         core = design.core
         movable_mask = design.movable_mask()
@@ -336,6 +356,30 @@ class GlobalPlacer:
             objective.probe = probe
             objective.finish_grad = finish_grad
 
+        if fault_armed("gp.nan_gradient"):
+            # Deterministic NaN poisoning: the hit index counts full
+            # objective evaluations inside the CG.  The wrapper carries no
+            # probe/finish_grad attributes, so the CG falls back to full
+            # evaluations while the fault is armed — the poison cannot be
+            # skipped by the value-only line-search path.
+            inner_objective = objective
+
+            def objective(v: np.ndarray):
+                f, g = inner_objective(v)
+                if check_fault("gp.nan_gradient") is not None:
+                    return float("nan"), np.full_like(g, np.nan)
+                return f, g
+
+        guard = None
+        if cfg.numerical_guard:
+            guard = NumericalGuard(
+                max_retries=cfg.guard_max_retries,
+                divergence_ratio=cfg.guard_divergence_ratio,
+                divergence_patience=cfg.guard_divergence_patience,
+                backoff=cfg.guard_backoff,
+                gamma_inflate=cfg.guard_gamma_inflate,
+            )
+
         # -- initialize the penalty weights from the gradient balance.
         _, wl_gx, wl_gy = wl_model.value_grad(cx, cy)
         _, d_gx, d_gy = density.value_grad(cx, cy)
@@ -365,6 +409,18 @@ class GlobalPlacer:
         )
         v = project(pack())
         unpack(v)
+        if guard is not None:
+            # Seed the rollback target with the pre-descent state so even
+            # a poisoned first iteration has somewhere to return to.  The
+            # infinite HPWL keeps the divergence tracker disarmed until a
+            # real iteration commits.
+            guard.commit(
+                v,
+                gamma=wl_model.gamma,
+                step_init=step_init,
+                step_max=step_max,
+                hpwl=float("inf"),
+            )
 
         tracer = get_tracer()
         metrics = tracer.metrics
@@ -421,19 +477,67 @@ class GlobalPlacer:
                         reference=cfg.reference,
                     )
                     wl_exact = exact_hpwl(arrays, cx, cy)
-                    stats = IterationStats(
-                        outer=outer,
-                        hpwl=wl_exact,
-                        smooth_wl=wl_model.value(cx, cy),
-                        density=density.value(cx, cy),
-                        overflow=overflow,
-                        lam=state["lam"],
-                        mean_inflation=inflator.mean_inflation if inflator else 1.0,
-                        fence=fence.value(cx, cy) if fence.active else 0.0,
-                        gamma=wl_model.gamma,
-                        step=result.final_step,
-                        cg_iters=result.iterations,
-                    )
+                if guard is not None:
+                    poisoned = result.nonfinite or not all_finite(wl_exact, overflow)
+                    if poisoned or guard.diverged(wl_exact):
+                        reason = "nonfinite" if poisoned else "divergence"
+                        detail = (
+                            f"f={result.value} |g|={result.grad_norm}"
+                            if poisoned
+                            else f"hpwl={wl_exact}"
+                        )
+                        snap = guard.recover(outer, reason, detail)
+                        metrics.counter(prefix + ".guard.rollbacks").inc()
+                        tracer.event(
+                            "guard.rollback",
+                            outer=outer,
+                            reason=reason,
+                            recovered=snap is not None,
+                        )
+                        _log.warning(
+                            "[%s %s] outer=%d %s detected; %s",
+                            prefix,
+                            design.name,
+                            outer,
+                            reason,
+                            "rolling back" if snap is not None else "retries exhausted",
+                        )
+                        if snap is None:
+                            # No snapshot or retries exhausted: keep the
+                            # best state we have and stop cleanly.
+                            report.guard_exhausted = True
+                            if guard.last_good is not None:
+                                v = np.array(guard.last_good.v, copy=True)
+                                unpack(v)
+                                wl_model.gamma = guard.last_good.gamma
+                                overflow = self._overflow(
+                                    design, density, cx, cy, widths, heights,
+                                    mov, reference=cfg.reference,
+                                )
+                            break
+                        v = np.array(snap.v, copy=True)
+                        unpack(v)
+                        step_init = snap.step_init
+                        step_max = snap.step_max
+                        wl_model.gamma = snap.gamma
+                        overflow = self._overflow(
+                            design, density, cx, cy, widths, heights, mov,
+                            reference=cfg.reference,
+                        )
+                        continue  # retry from the snapshot, same lam/mu
+                stats = IterationStats(
+                    outer=outer,
+                    hpwl=wl_exact,
+                    smooth_wl=wl_model.value(cx, cy),
+                    density=density.value(cx, cy),
+                    overflow=overflow,
+                    lam=state["lam"],
+                    mean_inflation=inflator.mean_inflation if inflator else 1.0,
+                    fence=fence.value(cx, cy) if fence.active else 0.0,
+                    gamma=wl_model.gamma,
+                    step=result.final_step,
+                    cg_iters=result.iterations,
+                )
                 report.iterations.append(stats)
                 metrics.record(prefix + ".hpwl", outer, wl_exact)
                 metrics.record(prefix + ".overflow", outer, overflow)
@@ -452,6 +556,24 @@ class GlobalPlacer:
                         overflow,
                         state["lam"],
                     )
+                if guard is not None:
+                    guard.commit(
+                        v,
+                        gamma=wl_model.gamma,
+                        step_init=step_init,
+                        step_max=step_max,
+                        hpwl=wl_exact,
+                    )
+            if watchdog is not None and watchdog.expired():
+                report.budget_exhausted = True
+                tracer.event("watchdog.expired", outer=outer, **watchdog.describe())
+                _log.warning(
+                    "[%s %s] stage budget expired after outer=%d; winding down",
+                    prefix,
+                    design.name,
+                    outer,
+                )
+                break
             if overflow <= cfg.overflow_target:
                 break
             state["lam"] *= cfg.lambda_growth
@@ -462,6 +584,9 @@ class GlobalPlacer:
                     wl_model.gamma * cfg.gamma_decay, 0.5 * min(grid.bin_w, grid.bin_h)
                 )
 
+        if guard is not None:
+            report.guard_rollbacks += guard.rollbacks
+            report.guard_events += [e.as_dict() for e in guard.events]
         design.push_centers(cx, cy, indices=mov)
         if cfg.optimize_orientations and not cfg.freeze_macros:
             report.orientation_changes += optimize_macro_orientations(

@@ -8,6 +8,8 @@ nodes by name so a ``.pl`` from any tool speaking Bookshelf applies.
 
 from __future__ import annotations
 
+import os
+
 from repro.db import Design, NodeKind
 from repro.geometry import Orientation
 
@@ -30,13 +32,16 @@ def write_pl(design: Design, path: str) -> None:
 def apply_pl(design: Design, path: str, *, strict: bool = True) -> int:
     """Apply positions/orientations from a ``.pl`` file; returns nodes set.
 
-    With ``strict`` (default) an unknown node name raises; otherwise it
-    is skipped (useful for partial checkpoints).  Fixed nodes are never
-    moved — their lines are validated but ignored.
+    With ``strict`` (default) an unknown node name raises
+    :class:`ValueError` naming the file, line number, and offending
+    line; otherwise the line is skipped (useful for partial
+    checkpoints).  Fixed nodes are never moved — their lines are
+    validated but ignored.
     """
     applied = 0
+    fname = os.path.basename(path)
     with open(path) as f:
-        for raw in f:
+        for lineno, raw in enumerate(f, start=1):
             line = raw.split("#", 1)[0].strip()
             if not line or line.startswith("UCLA"):
                 continue
@@ -46,17 +51,25 @@ def apply_pl(design: Design, path: str, *, strict: bool = True) -> int:
             name = parts[0]
             if not design.has_node(name):
                 if strict:
-                    raise KeyError(f".pl references unknown node {name!r}")
+                    raise ValueError(
+                        f"{fname}:{lineno}: .pl references unknown node "
+                        f"{name!r} (line: {line!r})"
+                    )
                 continue
             node = design.node(name)
             if not node.is_movable:
                 continue
-            node.x = float(parts[1])
-            node.y = float(parts[2])
-            if len(parts) > 3 and not parts[3].startswith("/"):
-                design.set_orientation(node, Orientation.from_string(parts[3]))
+            try:
                 node.x = float(parts[1])
                 node.y = float(parts[2])
+                if len(parts) > 3 and not parts[3].startswith("/"):
+                    design.set_orientation(node, Orientation.from_string(parts[3]))
+                    node.x = float(parts[1])
+                    node.y = float(parts[2])
+            except ValueError as exc:
+                raise ValueError(
+                    f"{fname}:{lineno}: {exc} (line: {line!r})"
+                ) from None
             applied += 1
     design._topology_version += 1
     return applied

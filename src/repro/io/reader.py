@@ -1,4 +1,9 @@
-"""Bookshelf reader."""
+"""Bookshelf reader.
+
+Every malformed line raises :class:`ValueError` carrying the file name
+and line number (``design.nodes:12: ...``) so a broken benchmark points
+at the offending line instead of a bare traceback deep in the parser.
+"""
 
 from __future__ import annotations
 
@@ -54,52 +59,70 @@ def read_bookshelf(aux_path: str, name: str | None = None) -> Design:
 
 
 def _data_lines(path: str):
+    """Yield ``(lineno, line)`` for non-comment data lines (1-based)."""
     with open(path) as f:
-        for raw in f:
+        for lineno, raw in enumerate(f, start=1):
             line = raw.split("#", 1)[0].strip()
             if not line or line.startswith("UCLA"):
                 continue
-            yield line
+            yield lineno, line
+
+
+def _line_error(path: str, lineno: int, line: str, why: str) -> ValueError:
+    return ValueError(f"{os.path.basename(path)}:{lineno}: {why} (line: {line!r})")
 
 
 def _read_nodes(design: Design, path: str) -> None:
-    for line in _data_lines(path):
+    for lineno, line in _data_lines(path):
         if line.startswith(("NumNodes", "NumTerminals")):
             continue
         parts = line.split()
-        nm, w, h = parts[0], float(parts[1]), float(parts[2])
-        kind = NodeKind.CELL
-        if len(parts) > 3:
-            tag = parts[3].lower()
-            if tag == "terminal":
-                kind = NodeKind.FIXED
-            elif tag == "terminal_ni":
-                kind = NodeKind.TERMINAL_NI
-        design.add_node(Node(name=nm, width=w, height=h, kind=kind))
+        try:
+            if len(parts) < 3:
+                raise ValueError("expected 'name width height [terminal]'")
+            nm, w, h = parts[0], float(parts[1]), float(parts[2])
+            kind = NodeKind.CELL
+            if len(parts) > 3:
+                tag = parts[3].lower()
+                if tag == "terminal":
+                    kind = NodeKind.FIXED
+                elif tag == "terminal_ni":
+                    kind = NodeKind.TERMINAL_NI
+            design.add_node(Node(name=nm, width=w, height=h, kind=kind))
+        except ValueError as exc:
+            raise _line_error(path, lineno, line, str(exc)) from None
 
 
 def _read_hier(design: Design, path: str) -> None:
-    for line in _data_lines(path):
+    for lineno, line in _data_lines(path):
         if line.startswith("hier"):
             continue
-        nm, module = line.split()
-        node = design.node(nm)
+        try:
+            nm, module = line.split()
+            node = design.node(nm)
+        except KeyError:
+            raise _line_error(path, lineno, line, "unknown node") from None
+        except ValueError:
+            raise _line_error(path, lineno, line, "expected 'node module'") from None
         node.module = module
         design.hierarchy.assign_cell(node.index, module)
 
 
 def _read_wts(path: str) -> dict:
     out = {}
-    for line in _data_lines(path):
+    for lineno, line in _data_lines(path):
         parts = line.split()
         if len(parts) == 2:
-            out[parts[0]] = float(parts[1])
+            try:
+                out[parts[0]] = float(parts[1])
+            except ValueError:
+                raise _line_error(path, lineno, line, "bad net weight") from None
     return out
 
 
 def _read_nets(design: Design, path: str, weights: dict) -> None:
     net = None
-    for line in _data_lines(path):
+    for lineno, line in _data_lines(path):
         if line.startswith(("NumNets", "NumPins")):
             continue
         if line.startswith("NetDegree"):
@@ -111,12 +134,21 @@ def _read_nets(design: Design, path: str, weights: dict) -> None:
             net = Net(name=net_name, weight=weights.get(net_name, 1.0))
             continue
         if net is None:
-            raise ValueError(f"pin line before NetDegree in {path}: {line!r}")
+            raise _line_error(path, lineno, line, "pin line before NetDegree")
         parts = line.replace(":", " ").split()
-        node = design.node(parts[0])
-        direction = PinDirection.from_string(parts[1]) if len(parts) > 1 else PinDirection.BIDIR
-        dx = float(parts[2]) if len(parts) > 2 else 0.0
-        dy = float(parts[3]) if len(parts) > 3 else 0.0
+        try:
+            node = design.node(parts[0])
+            direction = (
+                PinDirection.from_string(parts[1])
+                if len(parts) > 1
+                else PinDirection.BIDIR
+            )
+            dx = float(parts[2]) if len(parts) > 2 else 0.0
+            dy = float(parts[3]) if len(parts) > 3 else 0.0
+        except KeyError:
+            raise _line_error(path, lineno, line, "pin on unknown node") from None
+        except ValueError as exc:
+            raise _line_error(path, lineno, line, str(exc)) from None
         net.pins.append(Pin(node=node.index, dx=dx, dy=dy, direction=direction))
     if net is not None:
         design.add_net(net)
@@ -124,22 +156,29 @@ def _read_nets(design: Design, path: str, weights: dict) -> None:
 
 def _read_scl(design: Design, path: str) -> None:
     current = {}
-    for line in _data_lines(path):
+    for lineno, line in _data_lines(path):
         if line.startswith("NumRows"):
             continue
         if line.startswith("CoreRow"):
             current = {}
             continue
         if line.startswith("End"):
-            design.add_row(
-                Row(
-                    y=current["coordinate"],
-                    height=current["height"],
-                    site_width=current.get("sitewidth", 1.0),
-                    x_min=current["subroworigin"],
-                    num_sites=int(current["numsites"]),
+            try:
+                design.add_row(
+                    Row(
+                        y=current["coordinate"],
+                        height=current["height"],
+                        site_width=current.get("sitewidth", 1.0),
+                        x_min=current["subroworigin"],
+                        num_sites=int(current["numsites"]),
+                    )
                 )
-            )
+            except KeyError as exc:
+                raise _line_error(
+                    path, lineno, line, f"CoreRow missing {exc.args[0]!r}"
+                ) from None
+            except (TypeError, ValueError) as exc:
+                raise _line_error(path, lineno, line, str(exc)) from None
             continue
         # "Key : value" pairs; SubrowOrigin lines carry two pairs.
         tokens = line.replace(":", " : ").split()
@@ -158,15 +197,20 @@ def _read_scl(design: Design, path: str) -> None:
 
 
 def _read_pl(design: Design, path: str) -> None:
-    for line in _data_lines(path):
+    for lineno, line in _data_lines(path):
         parts = line.replace(":", " ").split()
         if len(parts) < 3:
             continue
-        node = design.node(parts[0])
-        node.x = float(parts[1])
-        node.y = float(parts[2])
-        if len(parts) > 3:
-            node.orientation = Orientation.from_string(parts[3])
+        try:
+            node = design.node(parts[0])
+            node.x = float(parts[1])
+            node.y = float(parts[2])
+            if len(parts) > 3:
+                node.orientation = Orientation.from_string(parts[3])
+        except KeyError:
+            raise _line_error(path, lineno, line, "unknown node") from None
+        except ValueError as exc:
+            raise _line_error(path, lineno, line, str(exc)) from None
 
 
 def _read_route(path: str):
@@ -176,30 +220,33 @@ def _read_route(path: str):
     hcap = vcap = 0.0
     adjustments = []
     in_adjust = False
-    for line in _data_lines(path):
+    for lineno, line in _data_lines(path):
         if line.startswith("route"):
             continue
-        if in_adjust:
-            i, j, h, v = line.split()
-            adjustments.append((int(i), int(j), float(h), float(v)))
-            continue
-        key, _, rest = line.partition(":")
-        key = key.strip().lower()
-        vals = rest.split()
-        if key == "grid":
-            grid_dims = (int(vals[0]), int(vals[1]))
-        elif key == "gridorigin":
-            origin = (float(vals[0]), float(vals[1]))
-        elif key == "tilesize":
-            tile = (float(vals[0]), float(vals[1]))
-        elif key == "horizontalcapacity":
-            hcap = sum(float(v) for v in vals)
-        elif key == "verticalcapacity":
-            vcap = sum(float(v) for v in vals)
-        elif key == "numcapacityadjustments":
-            in_adjust = int(vals[0]) > 0
+        try:
+            if in_adjust:
+                i, j, h, v = line.split()
+                adjustments.append((int(i), int(j), float(h), float(v)))
+                continue
+            key, _, rest = line.partition(":")
+            key = key.strip().lower()
+            vals = rest.split()
+            if key == "grid":
+                grid_dims = (int(vals[0]), int(vals[1]))
+            elif key == "gridorigin":
+                origin = (float(vals[0]), float(vals[1]))
+            elif key == "tilesize":
+                tile = (float(vals[0]), float(vals[1]))
+            elif key == "horizontalcapacity":
+                hcap = sum(float(v) for v in vals)
+            elif key == "verticalcapacity":
+                vcap = sum(float(v) for v in vals)
+            elif key == "numcapacityadjustments":
+                in_adjust = int(vals[0]) > 0
+        except (ValueError, IndexError) as exc:
+            raise _line_error(path, lineno, line, str(exc)) from None
     if grid_dims is None:
-        raise ValueError(f"no Grid line in {path}")
+        raise ValueError(f"no Grid line in {os.path.basename(path)}")
     nx, ny = grid_dims
     area = Rect(
         origin[0], origin[1], origin[0] + nx * tile[0], origin[1] + ny * tile[1]
@@ -219,24 +266,43 @@ def _read_regions(design: Design, path: str) -> None:
     lines = list(_data_lines(path))
     k = 0
     regions_by_name = {}
+    fname = os.path.basename(path)
     while k < len(lines):
-        line = lines[k]
+        lineno, line = lines[k]
         if line.startswith(("regions", "NumRegions", "NumMembers")):
             k += 1
             continue
         if line.startswith("Region"):
-            _, name, count = line.split()
-            rects = []
-            for r in range(int(count)):
-                k += 1
-                xl, yl, xh, yh = (float(v) for v in lines[k].split())
-                rects.append(Rect(xl, yl, xh, yh))
+            try:
+                _, name, count = line.split()
+                rects = []
+                for _ in range(int(count)):
+                    k += 1
+                    if k >= len(lines):
+                        raise ValueError("truncated Region rect list")
+                    rect_lineno, rect_line = lines[k]
+                    try:
+                        xl, yl, xh, yh = (float(v) for v in rect_line.split())
+                    except ValueError:
+                        raise _line_error(
+                            path, rect_lineno, rect_line, "expected 'xl yl xh yh'"
+                        ) from None
+                    rects.append(Rect(xl, yl, xh, yh))
+            except ValueError as exc:
+                if str(exc).startswith(f"{fname}:"):
+                    raise
+                raise _line_error(path, lineno, line, str(exc)) from None
             region = design.add_region(Region(name=name, rects=rects))
             regions_by_name[name] = region
             k += 1
             continue
         parts = line.split()
         if len(parts) == 2 and parts[0] != "Region":
-            node = design.node(parts[0])
-            node.region = regions_by_name[parts[1]].index
+            try:
+                node = design.node(parts[0])
+                node.region = regions_by_name[parts[1]].index
+            except KeyError as exc:
+                raise _line_error(
+                    path, lineno, line, f"unknown name {exc.args[0]!r}"
+                ) from None
         k += 1

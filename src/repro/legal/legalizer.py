@@ -33,9 +33,20 @@ class LegalizeResult:
 class Legalizer:
     """Macro legalization + Tetris + Abacus, with a legality audit."""
 
-    def __init__(self, *, macro_channel: float = 0.0, row_probe: int = 24):
+    def __init__(
+        self,
+        *,
+        macro_channel: float = 0.0,
+        row_probe: int = 24,
+        tetris_only: bool = False,
+    ):
         self.macro_channel = macro_channel
         self.row_probe = row_probe
+        # Fallback mode: skip the Abacus refinement and accept the plain
+        # Tetris result.  The flow switches this on when a full
+        # legalization attempt fails, trading displacement quality for a
+        # placement that is still legal.
+        self.tetris_only = tetris_only
 
     def legalize(self, design: Design) -> LegalizeResult:
         tracer = get_tracer()
@@ -48,8 +59,9 @@ class Legalizer:
         with tracer.span("tetris"):
             submap = SubRowMap(design)
             tetris_legalize(design, submap, row_probe=self.row_probe)
-        with tracer.span("abacus"):
-            abacus_refine(design, submap, {i: xy[0] for i, xy in desired.items()})
+        if not self.tetris_only:
+            with tracer.span("abacus"):
+                abacus_refine(design, submap, {i: xy[0] for i, xy in desired.items()})
         total = 0.0
         worst = 0.0
         for node in design.nodes:

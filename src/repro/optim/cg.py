@@ -22,6 +22,7 @@ implementation, kept verbatim as the golden baseline.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,6 +39,7 @@ class CGResult:
     converged: bool
     trajectory: list  # objective value per iteration
     final_step: float = 0.0  # last accepted line-search step (die distance)
+    nonfinite: bool = False  # NaN/Inf observed in the final value/gradient
 
 
 def minimize_cg(
@@ -179,6 +181,7 @@ def minimize_cg(
         converged=converged,
         trajectory=trajectory,
         final_step=last_step,
+        nonfinite=not (math.isfinite(f) and math.isfinite(grad_norm)),
     )
 
 
@@ -273,4 +276,5 @@ def _minimize_cg_reference(
         converged=converged,
         trajectory=trajectory,
         final_step=last_step,
+        nonfinite=not (math.isfinite(f) and math.isfinite(grad_norm)),
     )

@@ -1,0 +1,90 @@
+"""repro.resilience: keep the flow standing when inputs or numerics fail.
+
+Four pillars (see ``docs/robustness.md``):
+
+* :mod:`repro.resilience.validate` — design validation & sanitization at
+  flow entry (``validate_design``).
+* :mod:`repro.resilience.guards` — NaN/Inf + divergence detection in the
+  analytical placer with rollback to a last-good snapshot
+  (``NumericalGuard``).
+* :mod:`repro.resilience.watchdog` — cooperative per-stage time budgets
+  with graceful degradation (``StageWatchdog``).
+* :mod:`repro.resilience.checkpoint` — post-stage flow checkpoints and
+  bit-identical resume (``FlowCheckpoint``).
+
+All of it is driven through :mod:`repro.resilience.faults`, a
+deterministic fault-injection layer (``REPRO_FAULTS`` env var or the
+``inject()`` context manager) so every recovery path has a repeatable
+test.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    FlowCheckpoint,
+    checkpoint_path,
+    has_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.resilience.faults import (
+    ENV_VAR,
+    FAULT_POINTS,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    check_fault,
+    fault_armed,
+    fault_plan,
+    inject,
+    install_plan,
+    maybe_raise,
+    reset_plan,
+)
+from repro.resilience.guards import (
+    GuardEvent,
+    GuardSnapshot,
+    NumericalGuard,
+    all_finite,
+)
+from repro.resilience.validate import (
+    DesignValidationError,
+    Severity,
+    ValidationIssue,
+    ValidationReport,
+    validate_design,
+)
+from repro.resilience.watchdog import StageWatchdog, reset_clock_skew
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "DesignValidationError",
+    "ENV_VAR",
+    "FAULT_POINTS",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "FlowCheckpoint",
+    "GuardEvent",
+    "GuardSnapshot",
+    "NumericalGuard",
+    "Severity",
+    "StageWatchdog",
+    "ValidationIssue",
+    "ValidationReport",
+    "all_finite",
+    "check_fault",
+    "checkpoint_path",
+    "fault_armed",
+    "fault_plan",
+    "has_checkpoint",
+    "inject",
+    "install_plan",
+    "load_checkpoint",
+    "maybe_raise",
+    "reset_clock_skew",
+    "reset_plan",
+    "save_checkpoint",
+    "validate_design",
+]

@@ -1,0 +1,150 @@
+"""Numerical guards: NaN/Inf detection, divergence tracking, rollback.
+
+The analytical placer's outer loop drives these.  After every outer
+iteration the placer offers the guard its fresh state (iterate vector,
+smoothing gamma, step bounds, exact HPWL); the guard either *commits*
+it as the new last-good snapshot or flags the iteration as poisoned —
+non-finite objective/gradient/metrics, or HPWL running away from the
+best seen — and hands back the last-good snapshot together with
+backed-off step/smoothing parameters.  Retries are bounded; when they
+run out the placer keeps the last-good placement and stops cleanly.
+
+All state lives in plain Python/NumPy copies; on the happy path the
+guard costs one vector copy per outer iteration and never perturbs the
+optimization trajectory (the golden-equivalence tests pin this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class GuardSnapshot:
+    """Last-known-good optimizer state."""
+
+    v: np.ndarray          # packed iterate (solver coordinates), owned copy
+    gamma: float           # wirelength smoothing at snapshot time
+    step_init: float
+    step_max: float
+    hpwl: float
+
+
+@dataclass
+class GuardEvent:
+    """One recovery (or exhaustion), for telemetry and reports."""
+
+    outer: int
+    reason: str            # "nonfinite" | "divergence" | "exhausted"
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {"outer": self.outer, "reason": self.reason, "detail": self.detail}
+
+
+def all_finite(*values: float) -> bool:
+    """Scalar finiteness check (cheap; no array temporaries)."""
+    return all(math.isfinite(v) for v in values)
+
+
+@dataclass
+class NumericalGuard:
+    """Rollback-and-backoff supervisor for one GP descent.
+
+    ``max_retries`` bounds the total number of rollbacks; ``backoff``
+    scales the line-search step bounds down and the smoothing gamma up
+    on every recovery (a smoother, shorter-stepping objective is the
+    standard remedy for a diverging nonlinear-placement iteration).
+    Divergence means: exact HPWL exceeding ``divergence_ratio`` times
+    the best HPWL seen, ``divergence_patience`` outer iterations in a
+    row.  HPWL legitimately grows while the density weight ramps, so
+    the ratio is generous — the trigger is meant for runaway steps, not
+    the normal spreading trade-off.
+    """
+
+    max_retries: int = 3
+    divergence_ratio: float = 20.0
+    divergence_patience: int = 2
+    backoff: float = 0.5
+    gamma_inflate: float = 2.0
+
+    retries_used: int = 0
+    events: list = field(default_factory=list)
+    _snapshot: GuardSnapshot | None = None
+    _best_hpwl: float = math.inf
+    _streak: int = 0
+
+    # -- happy path ----------------------------------------------------
+    def commit(
+        self,
+        v: np.ndarray,
+        *,
+        gamma: float,
+        step_init: float,
+        step_max: float,
+        hpwl: float,
+    ) -> None:
+        """Record the post-iteration state as last-known-good."""
+        self._snapshot = GuardSnapshot(
+            v=np.array(v, dtype=float, copy=True),
+            gamma=gamma,
+            step_init=step_init,
+            step_max=step_max,
+            hpwl=hpwl,
+        )
+        if hpwl < self._best_hpwl:
+            self._best_hpwl = hpwl
+        self._streak = 0
+
+    # -- detection -----------------------------------------------------
+    def diverged(self, hpwl: float) -> bool:
+        """Track the divergence streak; True once patience is exhausted."""
+        if not math.isfinite(hpwl):
+            return False  # non-finite is handled by the caller's check
+        if (
+            math.isfinite(self._best_hpwl)
+            and self._best_hpwl > 0
+            and hpwl > self.divergence_ratio * self._best_hpwl
+        ):
+            self._streak += 1
+        else:
+            self._streak = 0
+        return self._streak >= self.divergence_patience
+
+    # -- recovery ------------------------------------------------------
+    @property
+    def can_recover(self) -> bool:
+        return self._snapshot is not None and self.retries_used < self.max_retries
+
+    @property
+    def exhausted(self) -> bool:
+        return self.retries_used >= self.max_retries
+
+    @property
+    def last_good(self) -> GuardSnapshot | None:
+        return self._snapshot
+
+    def recover(self, outer: int, reason: str, detail: str = "") -> GuardSnapshot | None:
+        """Consume a retry and return the backed-off last-good snapshot.
+
+        Returns ``None`` when no snapshot exists or retries ran out (the
+        caller should then restore ``last_good`` if present and stop).
+        """
+        self.events.append(GuardEvent(outer=outer, reason=reason, detail=detail))
+        if not self.can_recover:
+            return None
+        self.retries_used += 1
+        self._streak = 0
+        snap = self._snapshot
+        # Back off in place so repeated recoveries compound.
+        snap.step_init *= self.backoff
+        snap.step_max *= self.backoff
+        snap.gamma *= self.gamma_inflate
+        return snap
+
+    @property
+    def rollbacks(self) -> int:
+        return self.retries_used

@@ -1,0 +1,95 @@
+"""Stage watchdogs: soft per-stage time budgets with graceful expiry.
+
+A :class:`StageWatchdog` is armed by the flow for one stage with an
+optional budget in seconds.  Stages *cooperate*: long-running loops ask
+``watchdog.expired()`` at their natural boundaries (GP outer iteration,
+router round, DP round) and wind down cleanly when the budget runs out
+— nothing is killed mid-update, so the placement is always consistent.
+
+Time comes from :func:`now`, a monotonic clock with an injectable skew:
+the ``clock.skew=<seconds>`` fault point jumps it forward, and the
+``watchdog.expire.<stage>`` fault points force expiry directly — both
+deterministic, so watchdog behaviour is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.resilience.faults import check_fault
+
+# Accumulated skew injected by ``clock.skew`` faults (test-only; zero in
+# production, where now() is exactly perf_counter()).
+_skew = 0.0
+
+
+def now() -> float:
+    """The watchdog clock: ``time.perf_counter()`` plus injected skew."""
+    global _skew
+    spec = check_fault("clock.skew")
+    if spec is not None and spec.value is not None:
+        _skew += float(spec.value)
+    return time.perf_counter() + _skew
+
+
+def reset_clock_skew() -> None:
+    """Drop accumulated fault-injected skew (test isolation)."""
+    global _skew
+    _skew = 0.0
+
+
+class StageWatchdog:
+    """Budget supervisor for one flow stage.
+
+    ``budget_seconds=None`` disarms it: ``expired()`` is a constant
+    ``False`` with no clock read, so unbudgeted flows pay nothing.
+    """
+
+    __slots__ = ("stage", "budget", "start", "_forced", "_tripped")
+
+    def __init__(self, stage: str, budget_seconds: float | None = None):
+        self.stage = stage
+        self.budget = budget_seconds
+        self.start = now() if budget_seconds is not None else 0.0
+        self._forced = False
+        self._tripped = False
+
+    def expired(self) -> bool:
+        """Whether the stage should wind down now."""
+        if self._tripped:
+            return True
+        if check_fault(f"watchdog.expire.{self.stage}") is not None:
+            self._forced = True
+        if self._forced:
+            self._tripped = True
+            return True
+        if self.budget is None:
+            return False
+        if now() - self.start > self.budget:
+            self._tripped = True
+            return True
+        return False
+
+    @property
+    def elapsed(self) -> float:
+        if self.budget is None:
+            # Disarmed: no start time was taken (forced expiry included).
+            return 0.0
+        return now() - self.start
+
+    @property
+    def tripped(self) -> bool:
+        """Whether expiry has been observed at least once."""
+        return self._tripped
+
+    def describe(self) -> dict:
+        """Machine-readable expiry record for degradation reasons.
+
+        Deliberately has no ``stage`` key — callers attach their own
+        stage label alongside it.
+        """
+        return {
+            "budget_seconds": self.budget,
+            "elapsed_seconds": round(self.elapsed, 6),
+            "forced": self._forced,
+        }

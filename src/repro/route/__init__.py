@@ -12,9 +12,9 @@ router runs congestion-aware pattern routing (L then Z) with a maze
 from repro.route.spec import LayerSpec, RoutingSpec
 from repro.route.layer_report import LayerUsage, spread_over_layers
 from repro.route.graph import GridGraph
-from repro.route.rudy import pin_density_map, rudy_map
+from repro.route.rudy import pin_density_map, rudy_congestion_metrics, rudy_map
 from repro.route.steiner import decompose_net, manhattan_mst
-from repro.route.router import GlobalRouter, RouteResult, route_design
+from repro.route.router import GlobalRouter, RouteResult, RouteTimeout, route_design
 from repro.route.metrics import (
     ace,
     congestion_metrics,
@@ -31,6 +31,7 @@ __all__ = [
     "LayerUsage",
     "spread_over_layers",
     "RouteResult",
+    "RouteTimeout",
     "RoutingSpec",
     "ace",
     "congestion_metrics",
@@ -39,6 +40,7 @@ __all__ = [
     "pin_density_map",
     "rc_score",
     "route_design",
+    "rudy_congestion_metrics",
     "rudy_map",
     "scaled_hpwl",
 ]

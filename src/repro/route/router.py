@@ -46,6 +46,23 @@ from repro.route.spec import RoutingSpec
 from repro.route.steiner import decompose_all, decompose_net
 
 
+class RouteTimeout(RuntimeError):
+    """Routing was cut short by its stage watchdog.
+
+    Raised cooperatively at round boundaries when the ``should_stop``
+    callback passed to :meth:`GlobalRouter.route` returns True; the flow
+    catches it and degrades to estimator-based congestion metrics.
+    """
+
+    def __init__(self, phase: str, rounds_done: int):
+        super().__init__(
+            f"routing stopped by watchdog during {phase} "
+            f"({rounds_done} rounds completed)"
+        )
+        self.phase = phase
+        self.rounds_done = rounds_done
+
+
 @dataclass
 class RouteResult:
     """Outcome of routing one placement."""
@@ -136,8 +153,15 @@ class GlobalRouter:
         return arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3]
 
     # ------------------------------------------------------------------
-    def route(self, design=None, *, arrays=None, cx=None, cy=None) -> RouteResult:
-        """Route ``design`` (or explicit pin arrays + centres)."""
+    def route(
+        self, design=None, *, arrays=None, cx=None, cy=None, should_stop=None
+    ) -> RouteResult:
+        """Route ``design`` (or explicit pin arrays + centres).
+
+        ``should_stop`` is an optional zero-argument callable polled at
+        phase/round boundaries; when it returns True the router raises
+        :class:`RouteTimeout` instead of starting the next phase.
+        """
         if design is not None:
             arrays = design.pin_arrays()
             cx, cy = design.pull_centers()
@@ -145,6 +169,8 @@ class GlobalRouter:
             raise ValueError("route() needs a design or (arrays, cx, cy)")
         tracer = get_tracer()
         graph = GridGraph(self.spec)
+        if should_stop is not None and should_stop():
+            raise RouteTimeout("decompose", 0)
         with tracer.span("decompose"):
             i0, j0, i1, j1 = self.segments_for(arrays, cx, cy)
         nseg = len(i0)
@@ -174,6 +200,8 @@ class GlobalRouter:
         overflow = note_round(graph.total_overflow())
         maze_count = 0
         if self.z_refine and overflow > 0:
+            if should_stop is not None and should_stop():
+                raise RouteTimeout("z_refine", len(overflow_per_round))
             with tracer.span("z_refine"):
                 self._reroute_offenders(
                     graph, routes, i0, j0, i1, j1, use_maze=False
@@ -182,6 +210,8 @@ class GlobalRouter:
         for rnd in range(self.maze_rounds):
             if overflow <= 0:
                 break
+            if should_stop is not None and should_stop():
+                raise RouteTimeout(f"maze[{rnd}]", len(overflow_per_round))
             with tracer.span(f"maze[{rnd}]"):
                 graph.bump_history()
                 maze_count += self._reroute_offenders(

@@ -52,6 +52,49 @@ def rudy_map(
     )
 
 
+def rudy_congestion_metrics(design, wire_width: float = 1.0):
+    """Estimator-based :class:`~repro.route.metrics.CongestionMetrics`.
+
+    The graceful-degradation fallback when the evaluation router cannot
+    finish (watchdog expiry, injected fault): per routing tile, RUDY wire
+    demand ``L = density * bin_area`` is compared against the track
+    supply ``S = hcap * bin_h + vcap * bin_w``, and ACE/RC are computed
+    over the ``L/S`` ratios exactly as for routed edge congestion.  No
+    routing runs, so the numbers are estimates — the flow marks results
+    built this way as degraded.
+    """
+    from repro.route.metrics import ACE_LEVELS, CongestionMetrics, ace
+
+    spec = design.routing
+    if spec is None:
+        raise ValueError("design has no routing spec; cannot estimate congestion")
+    grid = spec.grid
+    arrays = design.pin_arrays()
+    cx, cy = design.pull_centers()
+    demand = rudy_map(arrays, cx, cy, grid, wire_width=wire_width) * grid.bin_area
+    supply = spec.hcap * grid.bin_h + spec.vcap * grid.bin_w
+    with np.errstate(divide="ignore", invalid="ignore"):
+        congestion = np.where(supply > 0, demand / np.maximum(supply, 1e-12), np.inf)
+        congestion = np.where((supply <= 0) & (demand <= 0), 0.0, congestion)
+    flat = congestion.ravel()
+    overflow = np.maximum(demand - supply, 0.0)
+    levels = {f: ace(flat, f) for f in ACE_LEVELS}
+    peak = (
+        float(np.minimum(np.nan_to_num(flat, posinf=10.0), 10.0).max())
+        if flat.size
+        else 0.0
+    )
+    return CongestionMetrics(
+        total_overflow=float(overflow.sum()),
+        max_overflow=float(overflow.max()) if overflow.size else 0.0,
+        routed_wirelength=float(demand.sum()),
+        ace_levels=levels,
+        rc=float(np.mean(list(levels.values()))) if levels else 0.0,
+        peak_congestion=peak,
+        vias=0,
+    )
+
+
 def pin_density_map(arrays, cx: np.ndarray, cy: np.ndarray, grid: BinGrid) -> np.ndarray:
     """Pins per bin — a proxy for local-routing demand around dense logic."""
     px, py = arrays.pin_positions(cx, cy)

@@ -65,6 +65,79 @@ class TestPlace:
         assert rc == 0
 
 
+class TestValidate:
+    def test_clean_design(self, bench_dir, capsys):
+        rc = main(["validate", "--aux", os.path.join(bench_dir, "clitest.aux")])
+        assert rc == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_fatal_design_exits_2(self, bench_dir, tmp_path, capsys):
+        import shutil
+
+        bad = str(tmp_path / "bad")
+        shutil.copytree(bench_dir, bad)
+        nodes = os.path.join(bad, "clitest.nodes")
+        text = open(nodes).read().replace(" 1.75 ", " -1.75 ", 1)
+        if " -1.75 " not in text:  # fall back to any width token
+            lines = text.splitlines()
+            for i, line in enumerate(lines):
+                parts = line.split()
+                if len(parts) >= 3 and parts[0].startswith("c"):
+                    parts[1] = "-" + parts[1]
+                    lines[i] = " ".join(parts)
+                    break
+            text = "\n".join(lines) + "\n"
+        open(nodes, "w").write(text)
+        rc = main(["validate", "--aux", os.path.join(bad, "clitest.aux")])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "fatal" in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        rc = main(["validate", "--aux", str(tmp_path / "gone.aux")])
+        assert rc == 2
+
+
+class TestResilienceFlags:
+    def test_resume_requires_checkpoint_dir(self, bench_dir, capsys):
+        rc = main(
+            ["place", "--aux", os.path.join(bench_dir, "clitest.aux"), "--resume"]
+        )
+        assert rc == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume(self, bench_dir, tmp_path, capsys):
+        ckpt = str(tmp_path / "ck")
+        aux = os.path.join(bench_dir, "clitest.aux")
+        base = ["place", "--aux", aux, "--no-route", "--checkpoint-dir", ckpt]
+        assert main(base) == 0
+        assert os.path.exists(os.path.join(ckpt, "checkpoint.json"))
+        assert main(base + ["--resume"]) == 0
+
+    def test_strict_flags_degraded_run(self, bench_dir, capsys):
+        from repro.resilience import FaultPlan, install_plan, reset_plan
+
+        aux = os.path.join(bench_dir, "clitest.aux")
+        try:
+            install_plan(FaultPlan.parse("raise.dp"))
+            rc = main(["place", "--aux", aux, "--no-route", "--strict"])
+        finally:
+            reset_plan()
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "degraded" in err and "stage=dp" in err
+
+    def test_missing_checkpoint_reports_failure(self, bench_dir, tmp_path, capsys):
+        rc = main(
+            [
+                "place", "--aux", os.path.join(bench_dir, "clitest.aux"),
+                "--checkpoint-dir", str(tmp_path / "nope"), "--resume",
+            ]
+        )
+        assert rc == 3
+        assert "flow failed" in capsys.readouterr().err
+
+
 class TestRoute:
     def test_route_scores(self, bench_dir, tmp_path, capsys):
         placed = str(tmp_path / "placed")

@@ -63,7 +63,7 @@ class TestRoundTrip:
         path = str(tmp_path / "u.pl")
         with open(path, "w") as f:
             f.write("UCLA pl 1.0\n\nghost 1.0 2.0 : N\n")
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match=r"u\.pl:3: .*ghost"):
             apply_pl(design, path)
 
     def test_unknown_node_lenient_skips(self, design, tmp_path):

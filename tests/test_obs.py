@@ -342,7 +342,7 @@ class TestEndToEndFlow:
     def test_flow_result_telemetry_aggregate(self, traced_run):
         _, result = traced_run
         tele = result.telemetry
-        assert set(tele) == {"stage_seconds", "gp", "dp", "route"}
+        assert set(tele) == {"stage_seconds", "gp", "dp", "route", "resilience"}
         assert all(v >= 0 for v in tele["stage_seconds"].values())
 
     def test_stage_seconds_nonnegative_perf_counter(self, traced_run):
