@@ -1,7 +1,8 @@
 """Benchmark quality-regression gate.
 
 Compares a freshly produced benchmark record (``BENCH_gp.json`` from
-``bench_gp_perf.py`` or ``BENCH_route.json`` from ``bench_perf.py``)
+``bench_gp_perf.py``, ``BENCH_dp.json`` from ``bench_dp_perf.py``, or
+``BENCH_route.json`` from ``bench_perf.py``)
 against a committed baseline under ``benchmarks/baselines/`` and exits
 non-zero if any *quality* metric drifts beyond tolerance.  Timing fields
 are deliberately ignored — wall time is machine-dependent and belongs in
@@ -35,6 +36,14 @@ TOLERANCES = {
     "peak_congestion": (0.02, 0.05),
     "vias": (0.02, 0.0),
     "gp_iterations": (0.0, 0.0),
+    # Detailed-placement records (BENCH_dp.json): pass structure and
+    # accept counts are exact for a given revision; the continuous
+    # quality numbers get the usual drift band.
+    "dp_improvement": (0.02, 1e-6),
+    "dp_accepted": (0.0, 0.0),
+    "dp_pass_count": (0.0, 0.0),
+    "legal_ok": (0.0, 0.0),
+    "max_displacement": (0.02, 0.0),
 }
 # Flags that must be true in the fresh record for the gate to pass.
 REQUIRED_FLAGS = ("identical_placements", "identical_metrics")

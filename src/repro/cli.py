@@ -162,6 +162,7 @@ def _cmd_place(args) -> int:
                     cfg.run_dp = False
                 cfg.checkpoint_dir = args.checkpoint_dir
                 _apply_route_knobs(cfg, args)
+                _apply_dp_knobs(cfg, args)
                 result = NTUplace4H(cfg).run(
                     design,
                     route=not args.no_route,
@@ -226,6 +227,30 @@ def _add_route_knobs(p) -> None:
     p.add_argument(
         "--cost-refresh", type=int, metavar="K",
         help="1 = exact incremental cost refresh; K>1 = full rebuild every K reroutes",
+    )
+
+
+def _apply_dp_knobs(cfg: FlowConfig, args) -> None:
+    """Copy the detailed-placement flags (when given) onto a flow config."""
+    if args.dp_passes is not None:
+        cfg.dp.rounds = args.dp_passes
+    if args.dp_reference:
+        # The golden mode spans both post-GP stages: the original
+        # legalization loops and the original DP scoring loops.
+        cfg.dp.reference = True
+        cfg.legal.reference = True
+
+
+def _add_dp_knobs(p) -> None:
+    p.add_argument(
+        "--dp-passes", type=int, metavar="N",
+        help="number of detailed-placement rounds (swap/reorder/matching)",
+    )
+    p.add_argument(
+        "--dp-reference", action="store_true",
+        help="run legalization and detailed placement on the original "
+        "per-object reference paths (bit-identical, slower; for "
+        "equivalence debugging)",
     )
 
 
@@ -330,6 +355,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit nonzero when the flow degrades (fallbacks, budget expiry)",
     )
     _add_route_knobs(p)
+    _add_dp_knobs(p)
     p.set_defaults(func=_cmd_place)
 
     r = sub.add_parser("route", help="score an existing placement by routing")

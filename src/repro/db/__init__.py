@@ -11,12 +11,14 @@ from repro.db.net import Net, Pin, PinDirection
 from repro.db.rows import Row
 from repro.db.regions import Region
 from repro.db.hierarchy import HierarchyTree, Module
-from repro.db.design import Design
+from repro.db.design import Design, NodeIncidence, PinArrays
 from repro.db.stats import DesignStats, compute_stats
 
 __all__ = [
     "Design",
     "DesignStats",
+    "NodeIncidence",
+    "PinArrays",
     "HierarchyTree",
     "Module",
     "Net",

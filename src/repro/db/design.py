@@ -40,6 +40,23 @@ from repro.db.hierarchy import HierarchyTree
 
 
 @dataclass
+class NodeIncidence:
+    """CSR incidence views derived from :class:`PinArrays`.
+
+    ``node_net_ids[node_net_ptr[i]:node_net_ptr[i+1]]`` are the distinct
+    nets touching node ``i``, sorted ascending; ``node_pin_ids`` slices
+    the same way into the flat pin table (pin indices grouped per node,
+    in net-major order).  Detailed placement uses these to find the nets
+    and pins dirtied by a move without walking Python pin objects.
+    """
+
+    node_net_ptr: np.ndarray  # int64 [num_nodes+1]
+    node_net_ids: np.ndarray  # int32 [node-net incidences]
+    node_pin_ptr: np.ndarray  # int64 [num_nodes+1]
+    node_pin_ids: np.ndarray  # int64 [P] pin-table indices grouped by node
+
+
+@dataclass
 class PinArrays:
     """CSR view of the netlist's pins, ordered net-by-net.
 
@@ -93,6 +110,8 @@ class Design:
         self._pin_base_struct = -1
         self._centers_cache = None
         self._centers_key = (-1, -1)
+        self._incidence_cache = None
+        self._incidence_version = -1
 
     # ------------------------------------------------------------------
     # construction
@@ -401,6 +420,59 @@ class Design:
         self._pin_cache = PinArrays(pin_node, pin_dx, pin_dy, net_ptr, net_weight)
         self._pin_cache_version = self._topology_version
         return self._pin_cache
+
+    def node_incidence(self) -> NodeIncidence:
+        """CSR node→net / node→pin incidence derived from :meth:`pin_arrays`.
+
+        Built once per topology version from the flat pin table — never
+        from the Python ``node.pins`` objects, so it cannot silently
+        diverge from the arrays the incremental-HPWL bookkeeping reads.
+        Nets per node come out sorted ascending and deduplicated (the pin
+        table is net-major, so a stable sort by node preserves net order
+        within each node's group).
+        """
+        arrays = self.pin_arrays()
+        if (
+            self._incidence_cache is not None
+            and self._incidence_version == self._topology_version
+        ):
+            return self._incidence_cache
+        num_nodes = len(self.nodes)
+        num_pins = arrays.num_pins
+        pin_net = np.repeat(
+            np.arange(arrays.num_nets, dtype=np.int32), np.diff(arrays.net_ptr)
+        )
+        order = np.argsort(arrays.pin_node, kind="stable").astype(np.int64)
+        node_pin_ptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        if num_pins:
+            np.cumsum(
+                np.bincount(arrays.pin_node, minlength=num_nodes),
+                out=node_pin_ptr[1:],
+            )
+        nodes_sorted = arrays.pin_node[order]
+        nets_sorted = pin_net[order]
+        if num_pins:
+            keep = np.ones(num_pins, dtype=bool)
+            keep[1:] = (nodes_sorted[1:] != nodes_sorted[:-1]) | (
+                nets_sorted[1:] != nets_sorted[:-1]
+            )
+        else:
+            keep = np.zeros(0, dtype=bool)
+        node_net_ids = nets_sorted[keep]
+        node_net_ptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        if node_net_ids.size:
+            np.cumsum(
+                np.bincount(nodes_sorted[keep], minlength=num_nodes),
+                out=node_net_ptr[1:],
+            )
+        self._incidence_cache = NodeIncidence(
+            node_net_ptr=node_net_ptr,
+            node_net_ids=node_net_ids,
+            node_pin_ptr=node_pin_ptr,
+            node_pin_ids=order,
+        )
+        self._incidence_version = self._topology_version
+        return self._incidence_cache
 
     def set_orientation(self, node: Node, orient: Orientation) -> None:
         """Re-orient ``node`` about its centre and invalidate pin caches."""

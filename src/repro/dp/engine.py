@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 
@@ -37,6 +38,11 @@ class DPConfig:
     spread_threshold: float = 0.9
     spread_max_moves: int = 200
     min_gain_per_round: float = 1e-6
+    # Golden mode: run the original per-pin scoring loops (kept verbatim
+    # in IncrementalHPWL) instead of the batched NumPy hot paths.  Results
+    # are bit-identical either way — CI and the equivalence tests assert
+    # it — so this exists to prove that, and to debug any future drift.
+    reference: bool = False
 
 
 @dataclass
@@ -79,14 +85,23 @@ class DetailedPlacer:
         tracer = get_tracer()
         t0 = time.perf_counter()
         report = DPReport(hpwl_before=design.hpwl())
-        inc = IncrementalHPWL(design)
-        gate = self._make_gate(design) if cfg.congestion_aware else None
+        inc = IncrementalHPWL(design, reference=cfg.reference)
+        gate = (
+            self._make_gate(design, reference=cfg.reference)
+            if cfg.congestion_aware
+            else None
+        )
+        pass_t0 = time.perf_counter()
 
         def note(name: str, accepted: int, gain: float) -> float:
+            nonlocal pass_t0
             step = len(report.passes)
             report.passes.append((name, accepted, gain))
             tracer.metrics.record("dp.hpwl_delta", step, -gain)
             tracer.metrics.record("dp.accepted", step, accepted)
+            now = time.perf_counter()
+            tracer.metrics.record("dp.pass_seconds", step, now - pass_t0)
+            pass_t0 = now
             return gain
 
         for rnd in range(cfg.rounds):
@@ -146,7 +161,7 @@ class DetailedPlacer:
         report.runtime_seconds = time.perf_counter() - t0
         return report
 
-    def _make_gate(self, design):
+    def _make_gate(self, design, *, reference: bool = False):
         """Reject moves whose destination tile is congested (estimated)."""
         if design.routing is None:
             return None
@@ -161,15 +176,44 @@ class DetailedPlacer:
             cong = np.where(supply > 0, demand / np.maximum(supply, 1e-12), 0.0)
         threshold = self.config.congestion_gate_threshold
 
+        if reference:
+
+            def gate(moves) -> bool:
+                for idx, nx, ny in moves:
+                    sx, sy = grid.index_of(
+                        design.nodes[idx].cx, design.nodes[idx].cy
+                    )
+                    dx, dy = grid.index_of(nx, ny)
+                    dest = cong[int(dx), int(dy)]
+                    src = cong[int(sx), int(sy)]
+                    if dest > threshold and dest > src + 0.05:
+                        return False
+                return True
+
+            return gate
+
+        # Scalar tile lookup: identical arithmetic to BinGrid.index_of
+        # (floor + clamp on the same float64 expressions) without the
+        # per-move ndarray round trips.
+        xl0 = grid.area.xl
+        yl0 = grid.area.yl
+        bw = grid.bin_w
+        bh = grid.bin_h
+        nx_hi = grid.nx - 1
+        ny_hi = grid.ny - 1
+        floor = math.floor
+        nodes = design.nodes
+        cong_list = cong.tolist()
+
         def gate(moves) -> bool:
             for idx, nx, ny in moves:
-                sx, sy = grid.index_of(
-                    design.nodes[idx].cx, design.nodes[idx].cy
-                )
-                dx, dy = grid.index_of(nx, ny)
-                dest = cong[int(dx), int(dy)]
-                src = cong[int(sx), int(sy)]
-                if dest > threshold and dest > src + 0.05:
+                node = nodes[idx]
+                sx = min(max(floor((node.cx - xl0) / bw), 0), nx_hi)
+                sy = min(max(floor((node.cy - yl0) / bh), 0), ny_hi)
+                dx = min(max(floor((nx - xl0) / bw), 0), nx_hi)
+                dy = min(max(floor((ny - yl0) / bh), 0), ny_hi)
+                dest = cong_list[dx][dy]
+                if dest > threshold and dest > cong_list[sx][sy] + 0.05:
                     return False
             return True
 

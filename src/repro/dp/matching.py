@@ -19,9 +19,11 @@ from repro.dp.hpwl_delta import IncrementalHPWL
 def _independent_batches(design, inc, cells, batch_size: int):
     """Greedy partition into net-independent batches of equal footprint."""
     by_key = {}
+    site = design.site_width
     for idx in cells:
         node = design.nodes[idx]
-        key = (round(node.placed_width, 6), node.region)
+        # Exact integer site-width key (matches _SlotIndex bucketing).
+        key = (round(node.placed_width / site), node.region)
         by_key.setdefault(key, []).append(idx)
     for key, group in by_key.items():
         used_nets = set()
@@ -58,12 +60,13 @@ def matching_pass(
         k = len(batch)
         cost = np.zeros((k, k))
         for a in range(k):
-            for b in range(k):
-                if a == b:
-                    continue
-                cost[a, b] = inc.delta_for_moves(
-                    [(batch[a], slots[b][0], slots[b][1])]
-                )
+            # All of cell a's candidate slots priced in one batched call
+            # (the diagonal stays 0, as the scalar loop left it).
+            others = [b for b in range(k) if b != a]
+            row = inc.score_moves(
+                [[(batch[a], slots[b][0], slots[b][1])] for b in others]
+            )
+            cost[a, others] = row
         rows, cols = linear_sum_assignment(cost)
         moves = [
             (batch[a], slots[b][0], slots[b][1])

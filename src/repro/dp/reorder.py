@@ -30,8 +30,7 @@ def local_reorder_pass(
                 continue
             nodes = [design.nodes[i] for i in group]
             left = min(n.x for n in nodes)
-            best_delta = 0.0
-            best_moves = None
+            move_sets = []
             for perm in permutations(group):
                 if list(perm) == group:
                     continue
@@ -43,7 +42,15 @@ def local_reorder_pass(
                         (i, x + node.placed_width / 2.0, node.y + node.placed_height / 2.0)
                     )
                     x += node.placed_width
-                delta = inc.delta_for_moves(moves)
+                move_sets.append(moves)
+            # One batched pricing of every non-identity permutation; the
+            # winner selection walks them in generation order, exactly as
+            # the one-at-a-time loop did.
+            deltas = inc.score_moves(move_sets)
+            best_delta = 0.0
+            best_moves = None
+            for moves, delta in zip(move_sets, deltas):
+                delta = float(delta)
                 if delta < best_delta - 1e-9:
                     best_delta = delta
                     best_moves = moves

@@ -6,9 +6,20 @@ evacuated into nearby whitespace in cooler tiles, preserving legality
 exactly (cells move into verified sub-row gaps).  HPWL is allowed to
 degrade by a bounded amount per move — trading wirelength for
 routability is the point.
+
+Two code paths live side by side, selected by ``inc.reference``: the
+original per-object scan (kept verbatim as the golden baseline) and a
+hot path that caches sub-row free intervals (invalidated only for the
+two sub-rows an accepted move touches), resolves each cell's owning
+sub-row through per-sub-row membership sets, and maps coordinates to
+congestion tiles with scalar arithmetic instead of ndarray round trips.
+Both paths visit candidates in the same order and compare with the same
+scalar semantics, so the chosen moves are bit-identical.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -53,6 +64,152 @@ def congestion_spread_pass(
 
     if inc is None:
         inc = IncrementalHPWL(design)
+    if inc.reference:
+        return _spread_reference(
+            design,
+            submap,
+            inc,
+            threshold=threshold,
+            max_moves=max_moves,
+            max_distance=max_distance,
+            hpwl_slack=hpwl_slack,
+        )
+    grid = design.routing.grid
+    arrays = design.pin_arrays()
+    cx, cy = design.pull_centers()
+    demand = rudy_map(arrays, cx, cy, grid)
+    supply = (
+        design.routing.hcap * grid.bin_h + design.routing.vcap * grid.bin_w
+    ) / grid.bin_area
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cong = np.where(supply > 0, demand / np.maximum(supply, 1e-12), 0.0)
+
+    if max_distance is None:
+        max_distance = 0.25 * max(design.core.width, design.core.height)
+    hpwl_budget = hpwl_slack * max(design.hpwl(), 1.0)
+
+    submap.rebuild_cells(design)
+
+    # Scalar tile lookup: same floor + clamp arithmetic as
+    # BinGrid.index_of, minus the ndarray round trips.
+    xl0 = grid.area.xl
+    yl0 = grid.area.yl
+    bw = grid.bin_w
+    bh = grid.bin_h
+    nx_hi = grid.nx - 1
+    ny_hi = grid.ny - 1
+    floor = math.floor
+    cong_list = cong.tolist()
+
+    def tile_cong(x, y) -> float:
+        ix = min(max(floor((x - xl0) / bw), 0), nx_hi)
+        iy = min(max(floor((y - yl0) / bh), 0), ny_hi)
+        return cong_list[ix][iy]
+
+    # Hot cells, hottest tiles first, low pin count first (cheap to move).
+    hot_cells = []
+    for node in design.nodes:
+        if not node.is_movable or node.kind is not NodeKind.CELL:
+            continue
+        c = tile_cong(node.cx, node.cy)
+        if c > threshold:
+            hot_cells.append((-c, len(node.pins), node.index))
+    hot_cells.sort()
+
+    # O(1) membership per sub-row replaces the `idx in sr.cells` list
+    # scans; the lookup order over the region's sub-rows is unchanged.
+    member_sets: dict = {}
+
+    def members_of(sr):
+        key = id(sr)
+        got = member_sets.get(key)
+        if got is None:
+            got = member_sets[key] = set(sr.cells)
+        return got
+
+    # Free intervals are recomputed only for the two sub-rows an accepted
+    # move touches; every other row's gaps are provably unchanged.
+    interval_cache: dict = {}
+
+    def intervals_of(sr):
+        key = id(sr)
+        got = interval_cache.get(key)
+        if got is None:
+            got = interval_cache[key] = _free_intervals(design, sr)
+        return got
+
+    cool = threshold * 0.9
+    moves = 0
+    total_delta = 0.0
+    for _, _, idx in hot_cells:
+        if moves >= max_moves:
+            break
+        node = design.nodes[idx]
+        src_sr = None
+        for sr in submap.for_region(node.region):
+            if idx in members_of(sr):
+                src_sr = sr
+                break
+        if src_sr is None:
+            continue
+        nx0 = node.x
+        ny0 = node.y
+        ncx0 = node.cx
+        ncy0 = node.cy
+        pw = node.placed_width
+        ph = node.placed_height
+        best = None
+        best_cost = float("inf")
+        for sr in submap.for_region(node.region):
+            if abs(sr.y - ny0) > max_distance:
+                continue
+            for lo, hi in intervals_of(sr):
+                if hi - lo < pw - 1e-9:
+                    continue
+                # Candidate x nearest to the cell inside the gap.
+                x = min(max(nx0, lo), hi - pw)
+                x = sr.snap_x(x, pw)
+                if x < lo - 1e-9 or x + pw > hi + 1e-9:
+                    continue
+                ncx = x + pw / 2.0
+                ncy = sr.y + ph / 2.0
+                if tile_cong(ncx, ncy) > cool:
+                    continue  # destination must actually be cooler
+                dist = abs(ncx - ncx0) + abs(ncy - ncy0)
+                if dist > max_distance or dist < 1e-9:
+                    continue
+                if dist < best_cost:
+                    best_cost = dist
+                    best = (sr, x, ncx, ncy)
+        if best is None:
+            continue
+        sr, x, ncx, ncy = best
+        delta = inc.delta_for_moves([(idx, ncx, ncy)])
+        if delta > hpwl_budget:
+            continue
+        inc.apply_moves([(idx, ncx, ncy)])
+        src_sr.cells.remove(idx)
+        members_of(src_sr).discard(idx)
+        sr.cells.append(idx)
+        members_of(sr).add(idx)
+        interval_cache.pop(id(src_sr), None)
+        interval_cache.pop(id(sr), None)
+        moves += 1
+        total_delta += delta
+    return moves, total_delta
+
+
+def _spread_reference(
+    design,
+    submap,
+    inc,
+    *,
+    threshold: float,
+    max_moves: int,
+    max_distance: float | None,
+    hpwl_slack: float,
+) -> tuple:
+    """The original per-object spreading loop (golden baseline)."""
     grid = design.routing.grid
     arrays = design.pin_arrays()
     cx, cy = design.pull_centers()

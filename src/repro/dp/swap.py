@@ -5,72 +5,156 @@ of its nets); a same-footprint cell already sitting there is the swap
 partner.  Swapping equal-width cells between their slots preserves
 legality exactly, including fence domains (partners must share the fence
 region id).
+
+The sweep prices every candidate pairing of a cell in one batched
+:meth:`IncrementalHPWL.score_moves` call and computes all optimal
+regions at pass start (one vectorized median evaluation instead of one
+per cell).  Candidate positions are read from mirror arrays refreshed
+from the design after every committed swap, so scoring sees exactly what
+re-reading the nodes would — bit for bit.  ``_SlotIndex`` buckets by
+exact integer site-width keys (``round(placed_width / site_width)``)
+rather than ``round(width, 6)`` floats, so near-equal widths can't land
+in different buckets on different platforms; reference mode keeps the
+original sorted-list/bisect construction, the default builds the same
+ordering with one global ``np.lexsort`` and ``searchsorted`` lookups.
 """
 
 from __future__ import annotations
+
+import bisect
+
+import numpy as np
 
 from repro.db import NodeKind
 from repro.dp.hpwl_delta import IncrementalHPWL
 
 
 class _SlotIndex:
-    """Same-footprint candidate lookup, bucketed by (width, region).
+    """Same-footprint candidate lookup, bucketed by (width-key, region).
 
-    Buckets are kept sorted by x at pass start; lookups bisect to the
-    query abscissa and scan outward, so a pass costs O(n * (log n + k))
-    instead of the naive O(n^2).  Positions in the index go slightly
-    stale as swaps commit — harmless, since candidates are re-read from
-    the design when scoring.
+    Buckets are kept sorted by (cx, cy, index) at pass start; lookups
+    bisect to the query abscissa and scan outward, so a pass costs
+    O(n * (log n + k)) instead of the naive O(n^2).  Bucket *positions*
+    go slightly stale as swaps commit — harmless, since candidates are
+    scored from the live mirror arrays, which :meth:`note_moved` refreshes
+    from the design after every accepted swap.
     """
 
-    def __init__(self, design, cells):
-        import bisect
-
-        self._bisect = bisect
+    def __init__(self, design, cells, *, reference: bool = False):
         self.design = design
-        self.buckets = {}
+        self.reference = bool(reference)
+        num = len(design.nodes)
+        # Live position mirrors: always equal to node.cx/node.cy/node.y.
+        self.mx = [0.0] * num
+        self.my = [0.0] * num
+        self.ny = [0.0] * num
+        self._key_of = {}
+        site = design.site_width
+        entries = []  # (wkey, region-id, cx, cy, idx) per cell
+        regions = []
+        region_ids: dict = {}
         for idx in cells:
             node = design.nodes[idx]
-            key = (round(node.placed_width, 6), node.region)
-            self.buckets.setdefault(key, []).append((node.cx, node.cy, idx))
-        for bucket in self.buckets.values():
-            bucket.sort()
-        self._keys = {
-            key: [e[0] for e in bucket] for key, bucket in self.buckets.items()
-        }
+            cx = node.cx
+            cy = node.cy
+            self.mx[idx] = cx
+            self.my[idx] = cy
+            self.ny[idx] = node.y
+            region = node.region
+            rid = region_ids.get(region)
+            if rid is None:
+                rid = region_ids[region] = len(regions)
+                regions.append(region)
+            wkey = round(node.placed_width / site)
+            self._key_of[idx] = (wkey, rid)
+            entries.append((wkey, rid, cx, cy, idx))
+        self.buckets = {}
+        if not entries:
+            return
+        if self.reference:
+            grouped: dict = {}
+            for wkey, rid, cx, cy, idx in entries:
+                grouped.setdefault((wkey, rid), []).append((cx, cy, idx))
+            for key, bucket in grouped.items():
+                bucket.sort()
+                self.buckets[key] = (
+                    [e[0] for e in bucket],
+                    [e[2] for e in bucket],
+                    None,
+                )
+            return
+        wk = np.array([e[0] for e in entries], dtype=np.int64)
+        rid_a = np.array([e[1] for e in entries], dtype=np.int64)
+        cx_a = np.array([e[2] for e in entries])
+        cy_a = np.array([e[3] for e in entries])
+        id_a = np.array([e[4] for e in entries], dtype=np.int64)
+        # Global sort: bucket keys first, then the reference tuple order
+        # (cx, cy, idx) within each bucket.
+        order = np.lexsort((id_a, cy_a, cx_a, rid_a, wk))
+        wk = wk[order]
+        rid_a = rid_a[order]
+        cx_s = cx_a[order]
+        id_s = id_a[order]
+        cuts = np.flatnonzero((wk[1:] != wk[:-1]) | (rid_a[1:] != rid_a[:-1])) + 1
+        starts = np.concatenate(([0], cuts, [len(wk)]))
+        for a, b in zip(starts[:-1], starts[1:]):
+            a = int(a)
+            b = int(b)
+            key = (int(wk[a]), int(rid_a[a]))
+            xs_arr = cx_s[a:b]
+            self.buckets[key] = (xs_arr.tolist(), id_s[a:b].tolist(), xs_arr)
 
-    def candidates(self, node, x: float, y: float, k: int, *, rows=None):
+    def note_moved(self, idx: int) -> None:
+        """Refresh the mirrors of ``idx`` from the design after a move."""
+        node = self.design.nodes[idx]
+        self.mx[idx] = node.cx
+        self.my[idx] = node.cy
+        self.ny[idx] = node.y
+
+    def candidates(self, idx: int, x: float, y: float, k: int, *, rows=None):
         """Up to ``k`` same-footprint cells nearest to ``(x, y)``.
 
         ``rows`` restricts partners to given y coordinates (vertical swap).
         """
-        key = (round(node.placed_width, 6), node.region)
-        bucket = self.buckets.get(key)
-        if not bucket:
+        entry = self.buckets.get(self._key_of.get(idx))
+        if not entry:
             return []
-        xs = self._keys[key]
-        pos = self._bisect.bisect_left(xs, x)
+        xs, ids, xs_arr = entry
+        if xs_arr is None:
+            pos = bisect.bisect_left(xs, x)
+        else:
+            pos = int(xs_arr.searchsorted(x, side="left"))
+        mx = self.mx
+        my = self.my
+        ny = self.ny
+        n_ids = len(ids)
+        inf = float("inf")
         # Scan outward in x, keeping the k best by full manhattan metric.
+        # xs is sorted and pos is the bisect-left split, so the gaps are
+        # xs[hi] - x on the right and x - xs[lo] on the left (no abs).
         scored = []
         lo, hi = pos - 1, pos
-        worst = float("inf")
+        gap_hi = xs[hi] - x if hi < n_ids else inf
+        gap_lo = x - xs[lo] if lo >= 0 else inf
+        worst = inf
         probe_budget = max(4 * k, 16)
-        while probe_budget > 0 and (lo >= 0 or hi < len(bucket)):
-            if hi < len(bucket) and (lo < 0 or abs(xs[hi] - x) <= abs(xs[lo] - x)):
-                cx0, cy0, idx = bucket[hi]
+        while probe_budget > 0 and (lo >= 0 or hi < n_ids):
+            if gap_hi <= gap_lo:
+                cand = ids[hi]
                 hi += 1
+                gap_hi = xs[hi] - x if hi < n_ids else inf
             else:
-                cx0, cy0, idx = bucket[lo]
+                cand = ids[lo]
                 lo -= 1
+                gap_lo = x - xs[lo] if lo >= 0 else inf
             probe_budget -= 1
-            if idx == node.index:
+            if cand == idx:
                 continue
-            other = self.design.nodes[idx]
-            if rows is not None and round(other.y, 6) not in rows:
+            if rows is not None and round(ny[cand], 6) not in rows:
                 continue
-            dist = abs(other.cx - x) + abs(other.cy - y)
+            dist = abs(mx[cand] - x) + abs(my[cand] - y)
             if dist < worst or len(scored) < k:
-                scored.append((dist, idx))
+                scored.append((dist, cand))
                 scored.sort()
                 if len(scored) > k:
                     scored.pop()
@@ -78,13 +162,10 @@ class _SlotIndex:
             # Early exit: once the x gap alone exceeds the worst kept
             # distance, nothing further out can improve.
             if len(scored) == k:
-                next_gap = min(
-                    abs(xs[hi] - x) if hi < len(bucket) else float("inf"),
-                    abs(xs[lo] - x) if lo >= 0 else float("inf"),
-                )
+                next_gap = gap_hi if gap_hi < gap_lo else gap_lo
                 if next_gap > worst:
                     break
-        return [idx for _, idx in scored]
+        return [c for _, c in scored]
 
 
 def _swap_sweep(
@@ -101,33 +182,43 @@ def _swap_sweep(
         for n in design.nodes
         if n.is_movable and n.kind is NodeKind.CELL
     ]
-    index = _SlotIndex(design, cells)
+    # All optimal regions come from the pass-start placement: one batched
+    # median evaluation (reference mode computes the same values with the
+    # per-cell loop).
+    regions = inc.optimal_regions(cells)
+    index = _SlotIndex(design, cells, reference=inc.reference)
+    site = design.site_width
+    mx = index.mx
+    my = index.my
     accepted = 0
     gain = 0.0
     for idx in cells:
-        node = design.nodes[idx]
-        region = inc.optimal_region(idx)
+        region = regions[idx]
         if region is None:
             continue
         x_lo, x_hi, y_lo, y_hi = region
-        tx = min(max(node.cx, x_lo), x_hi)
-        ty = min(max(node.cy, y_lo), y_hi)
-        if abs(tx - node.cx) + abs(ty - node.cy) < design.site_width:
+        cx = mx[idx]
+        cy = my[idx]
+        tx = min(max(cx, x_lo), x_hi)
+        ty = min(max(cy, y_lo), y_hi)
+        if abs(tx - cx) + abs(ty - cy) < site:
             continue  # already in its optimal region
-        rows = rows_for(node) if rows_for else None
-        for other_idx in index.candidates(node, tx, ty, candidates_per_cell, rows=rows):
-            other = design.nodes[other_idx]
-            moves = [
-                (idx, other.cx, other.cy),
-                (other_idx, node.cx, node.cy),
-            ]
+        rows = rows_for(index.ny[idx]) if rows_for else None
+        cands = index.candidates(idx, tx, ty, candidates_per_cell, rows=rows)
+        if not cands:
+            continue
+        move_sets = [[(idx, mx[c], my[c]), (c, cx, cy)] for c in cands]
+        deltas = inc.score_moves(move_sets)
+        for j, other_idx in enumerate(cands):
+            moves = move_sets[j]
             if gate is not None and not gate(moves):
                 continue
-            delta = inc.delta_for_moves(moves)
-            if delta < -1e-9:
+            if deltas[j] < -1e-9:
                 inc.apply_moves(moves)
+                index.note_moved(idx)
+                index.note_moved(other_idx)
                 accepted += 1
-                gain -= delta
+                gain -= float(deltas[j])
                 break
     return accepted, gain
 
@@ -151,8 +242,8 @@ def vertical_swap_pass(
     """Swaps restricted to the rows adjacent to each cell's own."""
     row_h = design.row_height
 
-    def rows_for(node):
-        return {round(node.y + row_h, 6), round(node.y - row_h, 6)}
+    def rows_for(y):
+        return {round(y + row_h, 6), round(y - row_h, 6)}
 
     return _swap_sweep(
         design,

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.dp import DPConfig
 from repro.gp import GPConfig
+from repro.legal import LegalConfig
 
 
 @dataclass
@@ -14,6 +15,7 @@ class FlowConfig:
 
     gp: GPConfig = field(default_factory=GPConfig)
     dp: DPConfig = field(default_factory=DPConfig)
+    legal: LegalConfig = field(default_factory=LegalConfig)
     # Cell-only GP refinement after mid-flow macro legalization.
     refine_after_macro_legal: bool = True
     refine_outer_iterations: int = 16

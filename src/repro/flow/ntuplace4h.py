@@ -303,7 +303,8 @@ class NTUplace4H:
                     maybe_raise("raise.legal")
                     with tracer.span("legal"):
                         legal_result = Legalizer(
-                            macro_channel=cfg.macro_channel
+                            cfg.legal,
+                            macro_channel=cfg.macro_channel,
                         ).legalize(design)
                 except Exception as exc:
                     degrade(
@@ -314,6 +315,7 @@ class NTUplace4H:
                     try:
                         with tracer.span("legal_fallback"):
                             legal_result = Legalizer(
+                                cfg.legal,
                                 macro_channel=cfg.macro_channel,
                                 tetris_only=True,
                             ).legalize(design)

@@ -20,10 +20,11 @@ from repro.legal.abacus import abacus_refine
 from repro.legal.check import LegalityReport, check_legal
 from repro.legal.eco import EcoResult, eco_legalize
 from repro.legal.fillers import insert_fillers, remove_fillers
-from repro.legal.legalizer import Legalizer
+from repro.legal.legalizer import LegalConfig, Legalizer
 
 __all__ = [
     "EcoResult",
+    "LegalConfig",
     "Legalizer",
     "LegalityReport",
     "eco_legalize",

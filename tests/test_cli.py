@@ -138,6 +138,42 @@ class TestResilienceFlags:
         assert "flow failed" in capsys.readouterr().err
 
 
+class TestDPKnobs:
+    def test_knobs_reach_flow_config(self):
+        from repro.cli import _apply_dp_knobs, build_parser
+        from repro.flow.config import FlowConfig
+
+        args = build_parser().parse_args(
+            ["place", "--aux", "x.aux", "--dp-passes", "1", "--dp-reference"]
+        )
+        cfg = FlowConfig()
+        _apply_dp_knobs(cfg, args)
+        assert cfg.dp.rounds == 1
+        assert cfg.dp.reference is True
+        assert cfg.legal.reference is True
+
+    def test_defaults_leave_config_untouched(self):
+        from repro.cli import _apply_dp_knobs, build_parser
+        from repro.flow.config import FlowConfig
+
+        args = build_parser().parse_args(["place", "--aux", "x.aux"])
+        cfg = FlowConfig()
+        _apply_dp_knobs(cfg, args)
+        default = FlowConfig()
+        assert cfg.dp.rounds == default.dp.rounds
+        assert cfg.dp.reference is False
+        assert cfg.legal.reference is False
+
+    def test_place_with_dp_knobs(self, bench_dir):
+        rc = main(
+            [
+                "place", "--aux", os.path.join(bench_dir, "clitest.aux"),
+                "--no-route", "--dp-passes", "1", "--dp-reference",
+            ]
+        )
+        assert rc == 0
+
+
 class TestRoute:
     def test_route_scores(self, bench_dir, tmp_path, capsys):
         placed = str(tmp_path / "placed")
