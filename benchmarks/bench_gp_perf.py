@@ -34,7 +34,7 @@ import numpy as np
 from repro.benchgen import SUITE, make_suite_design
 from repro.gp.config import GPConfig
 from repro.gp.placer import GlobalPlacer
-from repro.obs import Tracer, format_trace_summary, use_tracer
+from repro.obs import SamplingProfiler, Tracer, format_trace_summary, use_tracer
 
 
 def _run_gp(design_name: str, reference: bool, tracer=None):
@@ -74,7 +74,7 @@ def _stage_breakdown(tracer: Tracer) -> dict:
     return {k: round(v, 4) for k, v in sorted(stages.items(), key=lambda kv: -kv[1])}
 
 
-def run_bench(design_name: str, repeats: int) -> tuple[dict, Tracer]:
+def run_bench(design_name: str, repeats: int):
     ref_times: list[float] = []
     opt_times: list[float] = []
     ref_state = opt_state = None
@@ -89,7 +89,9 @@ def run_bench(design_name: str, repeats: int) -> tuple[dict, Tracer]:
     _assert_identical(ref_state, opt_state)
 
     tracer = Tracer()
-    _run_gp(design_name, reference=False, tracer=tracer)
+    profiler = SamplingProfiler(tracer)
+    with profiler:
+        _run_gp(design_name, reference=False, tracer=tracer)
 
     baseline = min(ref_times)
     optimized = min(opt_times)
@@ -116,8 +118,11 @@ def run_bench(design_name: str, repeats: int) -> tuple[dict, Tracer]:
             or report.guard_exhausted
             or report.budget_exhausted
         ),
+        # Sampling-profiler attribution of the traced run (top-level on
+        # purpose: check_regression only gates keys under "metrics").
+        "profile": profiler.as_record(),
     }
-    return record, tracer
+    return record, tracer, profiler
 
 
 def main(argv=None) -> int:
@@ -134,7 +139,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    record, tracer = run_bench(args.design, max(1, args.repeats))
+    record, tracer, profiler = run_bench(args.design, max(1, args.repeats))
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(record, fh, indent=2)
         fh.write("\n")
@@ -149,7 +154,7 @@ def main(argv=None) -> int:
 
     if args.trace_summary:
         with open(args.trace_summary, "w", encoding="utf-8") as fh:
-            fh.write(format_trace_summary(tracer))
+            fh.write(format_trace_summary(tracer, profile=profiler))
             fh.write("\n")
         print(f"wrote {args.trace_summary}")
     return 0

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.baselines.random_place import random_placement
 from repro.benchgen import SUITE, make_suite_design
-from repro.obs import Tracer, format_trace_summary, use_tracer
+from repro.obs import SamplingProfiler, Tracer, format_trace_summary, use_tracer
 from repro.route.router import GlobalRouter
 from repro.route.steiner import clear_decompose_cache
 
@@ -79,6 +79,12 @@ def run_bench(design_name: str, repeats: int, seed: int) -> dict:
 
     _assert_identical(ref_result, opt_result)
 
+    # One traced+profiled optimized route for the "profile" section.
+    tracer = Tracer()
+    profiler = SamplingProfiler(tracer)
+    with use_tracer(tracer), profiler:
+        GlobalRouter(spec).route(arrays=arrays, cx=cx, cy=cy)
+
     baseline = min(ref_times)
     optimized = min(warm_times)
     return {
@@ -105,6 +111,9 @@ def run_bench(design_name: str, repeats: int, seed: int) -> dict:
         # completes exactly or this bench raises; the field keeps the
         # record schema uniform for the regression gate.
         "degraded": False,
+        # Sampling-profiler attribution of the traced run (top-level on
+        # purpose: check_regression only gates keys under "metrics").
+        "profile": profiler.as_record(),
     }
 
 

@@ -27,24 +27,28 @@ import json
 import sys
 
 # metric name -> (relative tolerance, absolute tolerance); a metric
-# passes if it is within EITHER bound of the baseline value.
-TOLERANCES = {
-    "hpwl": (0.02, 0.0),
-    "overflow": (0.02, 0.02),
-    "rc": (0.02, 0.0),
-    "total_overflow": (0.02, 1.0),
-    "peak_congestion": (0.02, 0.05),
-    "vias": (0.02, 0.0),
-    "gp_iterations": (0.0, 0.0),
-    # Detailed-placement records (BENCH_dp.json): pass structure and
-    # accept counts are exact for a given revision; the continuous
-    # quality numbers get the usual drift band.
-    "dp_improvement": (0.02, 1e-6),
-    "dp_accepted": (0.0, 0.0),
-    "dp_pass_count": (0.0, 0.0),
-    "legal_ok": (0.0, 0.0),
-    "max_displacement": (0.02, 0.0),
-}
+# passes if it is within EITHER bound of the baseline value.  The
+# canonical table lives in repro.obs.runs so that `repro runs diff`
+# flags regressions with exactly the bounds CI gates on; the literal
+# fallback keeps this script usable standalone (no PYTHONPATH).
+try:
+    from repro.obs.runs import DEFAULT_TOLERANCE, TOLERANCES
+except ImportError:
+    DEFAULT_TOLERANCE = (0.02, 0.0)
+    TOLERANCES = {
+        "hpwl": (0.02, 0.0),
+        "overflow": (0.02, 0.02),
+        "rc": (0.02, 0.0),
+        "total_overflow": (0.02, 1.0),
+        "peak_congestion": (0.02, 0.05),
+        "vias": (0.02, 0.0),
+        "gp_iterations": (0.0, 0.0),
+        "dp_improvement": (0.02, 1e-6),
+        "dp_accepted": (0.0, 0.0),
+        "dp_pass_count": (0.0, 0.0),
+        "legal_ok": (0.0, 0.0),
+        "max_displacement": (0.02, 0.0),
+    }
 # Flags that must be true in the fresh record for the gate to pass.
 REQUIRED_FLAGS = ("identical_placements", "identical_metrics")
 
@@ -78,7 +82,7 @@ def compare(fresh: dict, baseline: dict) -> list[str]:
             failures.append(f"metric {name!r} missing from the fresh record")
             continue
         value = fresh_metrics[name]
-        rel_tol, abs_tol = TOLERANCES.get(name, (0.02, 0.0))
+        rel_tol, abs_tol = TOLERANCES.get(name, DEFAULT_TOLERANCE)
         drift = abs(value - base_value)
         limit = max(rel_tol * abs(base_value), abs_tol)
         if drift > limit:

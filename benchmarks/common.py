@@ -27,7 +27,7 @@ from repro.benchgen import SUITE, make_suite_design
 from repro.dp import DPConfig
 from repro.flow import FlowConfig, NTUplace4H
 from repro.baselines import run_baseline_flow
-from repro.obs import NULL_TRACER, Tracer, use_tracer, write_jsonl
+from repro.obs import JsonlStreamSink, NULL_TRACER, Tracer, use_tracer
 
 SMALL_SET = ("rh01", "rh02", "rh03")
 FULL_SET = tuple(sorted(SUITE))
@@ -49,16 +49,25 @@ def trace_dir() -> str | None:
 
 
 def _traced(label: str, fn):
-    """Run ``fn`` under a tracer, writing a JSONL trace when enabled."""
+    """Run ``fn`` under a tracer, streaming a JSONL trace when enabled.
+
+    The trace is written live through a :class:`JsonlStreamSink`, so a
+    hung or killed bench run still leaves every completed span on disk
+    (and the file can be tailed while the suite runs).
+    """
     out = trace_dir()
-    tracer = Tracer() if out else NULL_TRACER
-    with use_tracer(tracer):
-        result = fn()
-    if out:
-        os.makedirs(out, exist_ok=True)
-        path = os.path.join(out, f"{label}.trace.jsonl")
-        write_jsonl(tracer, path, meta={"bench": label})
-    return result
+    if not out:
+        with use_tracer(NULL_TRACER):
+            return fn()
+    os.makedirs(out, exist_ok=True)
+    tracer = Tracer()
+    sink = JsonlStreamSink(os.path.join(out, f"{label}.trace.jsonl"))
+    tracer.add_sink(sink, meta={"bench": label})
+    try:
+        with use_tracer(tracer):
+            return fn()
+    finally:
+        tracer.close_sinks()
 
 
 def flow_config(routability: bool) -> FlowConfig:

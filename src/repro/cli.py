@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import logging
+import os
 import sys
 
 from repro.baselines import run_baseline_flow
@@ -35,13 +36,20 @@ from repro.flow import FlowConfig, NTUplace4H
 from repro.io import read_bookshelf, write_bookshelf
 from repro.metrics import format_table
 from repro.obs import (
+    FlightRecorder,
+    HeartbeatSink,
+    JsonlStreamSink,
+    RunRegistry,
+    RunRegistryError,
+    SamplingProfiler,
     Tracer,
     configure_logging,
+    diff_runs,
     format_trace_summary,
     get_logger,
     use_tracer,
-    write_jsonl,
 )
+from repro.obs.runs import default_runs_dir, run_summary_row
 from repro.resilience import validate_design
 from repro.route import GlobalRouter, scaled_hpwl
 
@@ -135,17 +143,33 @@ def _cmd_place(args) -> int:
     design, code = _read_design(args)
     if design is None:
         return code
+    # Always capture a trace: on failure the failing stage and the last
+    # event are reported; --trace/--trace-summary just export it.
+    tracer = Tracer(profile_resources=args.profile)
+    trace_sink = None
     if args.trace:
-        # Fail fast on an unwritable path before a minutes-long run.
+        # Streaming sink: the file is written record-by-record, so it
+        # is tail -f-able mid-run (and an unwritable path fails fast
+        # here, before a minutes-long run).
         try:
-            with open(args.trace, "w", encoding="utf-8"):
-                pass
+            trace_sink = JsonlStreamSink(args.trace)
         except OSError as exc:
             print(f"error: cannot write trace file: {exc}", file=sys.stderr)
             return 2
-    # Always capture a trace: on failure the failing stage and the last
-    # event are reported; --trace/--trace-summary just export it.
-    tracer = Tracer()
+        tracer.add_sink(
+            trace_sink, meta={"command": "place", "design": design.name}
+        )
+    if args.heartbeat:
+        tracer.add_sink(HeartbeatSink(args.heartbeat))
+    if args.flight_recorder:
+        tracer.add_sink(FlightRecorder(path=args.flight_recorder))
+    profiler = SamplingProfiler(tracer) if args.profile else None
+    if profiler is not None:
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+        profiler.start()
     try:
         with use_tracer(tracer):
             if args.baseline:
@@ -161,6 +185,7 @@ def _cmd_place(args) -> int:
                 if args.no_dp:
                     cfg.run_dp = False
                 cfg.checkpoint_dir = args.checkpoint_dir
+                cfg.runs_dir = default_runs_dir(args.runs_dir)
                 _apply_route_knobs(cfg, args)
                 _apply_dp_knobs(cfg, args)
                 result = NTUplace4H(cfg).run(
@@ -169,15 +194,23 @@ def _cmd_place(args) -> int:
                     resume_from=args.checkpoint_dir if args.resume else None,
                 )
     except Exception as exc:
+        dumps = tracer.dump_flight_recorders(reason="crash")
+        tracer.close_sinks()
         _report_flow_failure(tracer, exc)
+        for path in dumps:
+            print(f"flight-recorder dump: {path}", file=sys.stderr)
         return 3
-    if args.trace:
-        count = write_jsonl(
-            tracer, args.trace, meta={"command": "place", "design": design.name}
-        )
-        print(f"wrote {args.trace} ({count} records)")
-    if args.trace_summary:
-        print(format_trace_summary(tracer))
+    finally:
+        if profiler is not None:
+            profiler.stop()
+    tracer.close_sinks()
+    if trace_sink is not None:
+        print(f"wrote {args.trace} ({trace_sink.records_written} records)")
+        run_id = getattr(result, "run_id", None)
+        if run_id:
+            RunRegistry(cfg.runs_dir).set_trace_path(run_id, args.trace)
+    if args.trace_summary or args.profile:
+        print(format_trace_summary(tracer, profile=profiler))
     print(format_table([result.as_row()], title="flow result"))
     if not result.legal:
         _log.warning(
@@ -299,6 +332,99 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _open_registry(args):
+    """Resolve the registry directory; (None, code) on usage errors."""
+    runs_dir = default_runs_dir(args.runs_dir)
+    if runs_dir is None:
+        print(
+            "error: no run registry configured; pass --runs-dir or set "
+            "REPRO_RUNS_DIR",
+            file=sys.stderr,
+        )
+        return None, 2
+    return RunRegistry(runs_dir), 0
+
+
+def _cmd_runs_list(args) -> int:
+    registry, code = _open_registry(args)
+    if registry is None:
+        return code
+    records = registry.list(design=args.design, limit=args.limit)
+    if not records:
+        print("no runs recorded")
+        return 0
+    print(
+        format_table(
+            [run_summary_row(r) for r in records],
+            title=f"run history ({registry.root})",
+        )
+    )
+    return 0
+
+
+def _cmd_runs_show(args) -> int:
+    registry, code = _open_registry(args)
+    if registry is None:
+        return code
+    try:
+        record = registry.get(args.run_id)
+    except RunRegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_table([run_summary_row(record)], title="run"))
+    stages = record.get("stage_seconds", {})
+    if stages:
+        rows = [
+            {"stage": name, "seconds": round(seconds, 3)}
+            for name, seconds in stages.items()
+        ]
+        print()
+        print(format_table(rows, title="stage runtimes"))
+    print()
+    import json as _json
+
+    print(_json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_runs_diff(args) -> int:
+    registry, code = _open_registry(args)
+    if registry is None:
+        return code
+    try:
+        rec_a = registry.get(args.a)
+        rec_b = registry.get(args.b)
+    except RunRegistryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_runs(rec_a, rec_b)
+    print(
+        format_table(
+            [run_summary_row(rec_a), run_summary_row(rec_b)], title="runs"
+        )
+    )
+    if not diff["comparable"]:
+        print(
+            f"note: different designs ({rec_a.get('design')} vs "
+            f"{rec_b.get('design')}); deltas are not regression-gated",
+            file=sys.stderr,
+        )
+    if diff["metrics"]:
+        print()
+        print(format_table(diff["metrics"], title="quality deltas (a -> b)"))
+    if diff["stages"]:
+        print()
+        print(format_table(diff["stages"], title="stage runtime deltas (a -> b)"))
+    if diff["comparable"] and diff["regressions"]:
+        print(
+            f"REGRESSION: {', '.join(diff['regressions'])} drifted beyond "
+            "check_regression tolerances",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -335,11 +461,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-route", action="store_true")
     p.add_argument(
         "--trace", metavar="PATH",
-        help="capture a hierarchical trace and write it as JSONL",
+        help="stream a hierarchical trace to PATH as JSONL (written "
+        "record-by-record; tail -f-able while the flow runs)",
     )
     p.add_argument(
         "--trace-summary", action="store_true",
         help="print the stage-breakdown table of the captured trace",
+    )
+    p.add_argument(
+        "--heartbeat", type=float, metavar="SEC",
+        help="print a progress line (stage, iteration, elapsed) to stderr "
+        "every SEC seconds",
+    )
+    p.add_argument(
+        "--flight-recorder", metavar="PATH",
+        help="keep a ring buffer of the last telemetry records and dump "
+        "it to PATH on crash or degradation",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="record per-span CPU/RSS/heap deltas and run the sampling "
+        "profiler; prints the top-functions table after the flow",
+    )
+    p.add_argument(
+        "--runs-dir", metavar="DIR",
+        help="append a run-history record here (default: $REPRO_RUNS_DIR; "
+        "inspect with 'repro runs')",
     )
     p.add_argument(
         "--checkpoint-dir", metavar="DIR",
@@ -367,6 +514,30 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser("stats", help="print benchmark statistics")
     s.add_argument("--aux", required=True)
     s.set_defaults(func=_cmd_stats)
+
+    runs = sub.add_parser(
+        "runs", help="inspect the persistent run-history registry"
+    )
+    runs.add_argument(
+        "--runs-dir", metavar="DIR",
+        help="registry directory (default: $REPRO_RUNS_DIR)",
+    )
+    rsub = runs.add_subparsers(dest="runs_command", required=True)
+    rl = rsub.add_parser("list", help="table of recorded runs, newest first")
+    rl.add_argument("--design", help="only runs of this design")
+    rl.add_argument("--limit", type=int, default=20)
+    rl.set_defaults(func=_cmd_runs_list)
+    rs2 = rsub.add_parser("show", help="full record of one run")
+    rs2.add_argument("run_id", help="run id (unique prefix accepted)")
+    rs2.set_defaults(func=_cmd_runs_show)
+    rd = rsub.add_parser(
+        "diff",
+        help="per-stage runtime and quality deltas between two runs "
+        "(exit 1 when a quality metric regresses beyond tolerance)",
+    )
+    rd.add_argument("a", help="baseline run id")
+    rd.add_argument("b", help="fresh run id")
+    rd.set_defaults(func=_cmd_runs_diff)
     return parser
 
 
@@ -374,7 +545,14 @@ def main(argv=None) -> int:
     configure_logging(logging.WARNING)
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # ``repro runs show ... | head`` — the reader closed stdout
+        # early.  Point stdout at devnull so the interpreter-shutdown
+        # flush doesn't raise a second time, and exit clean.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

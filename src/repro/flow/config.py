@@ -51,6 +51,10 @@ class FlowConfig:
     # wind down at their next loop boundary and the flow result is
     # marked degraded.
     stage_budget: dict = field(default_factory=dict)
+    # Observability (see docs/observability.md).
+    # Append a run-history record here after every run() (the CLI's
+    # --runs-dir / the REPRO_RUNS_DIR environment variable feed this).
+    runs_dir: str | None = None
 
     @staticmethod
     def wirelength_only() -> "FlowConfig":

@@ -77,6 +77,8 @@ class FlowResult:
     legal_result: object = None
     dp_report: object = None
     route_result: object = None
+    # Run-history registry id (set when FlowConfig.runs_dir records it).
+    run_id: str | None = None
     # Resilience bookkeeping.
     degraded: bool = False
     degradation: list = field(default_factory=list)  # machine-readable reasons
@@ -158,6 +160,10 @@ class NTUplace4H:
         """
         cfg = self.config
         tracer = get_tracer()
+        # One metrics registry per run: back-to-back runs under the same
+        # tracer must not accumulate each other's series (streamed
+        # samples already forwarded to sinks are unaffected).
+        tracer.fresh_metrics()
         result = FlowResult(design_name=design.name)
 
         # Validation runs before checkpoint restore so a resumed run sees
@@ -206,6 +212,9 @@ class NTUplace4H:
             result.degraded = True
             result.degradation.append(entry)
             tracer.event("flow.degraded", **entry)
+            # Post-mortem context: any attached flight recorder dumps
+            # its last-N records the moment the flow degrades.
+            tracer.dump_flight_recorders(reason=f"{stage}:{reason}")
             _log.warning(
                 "flow degraded at %s (%s) %s", stage, reason, detail or ""
             )
@@ -427,6 +436,18 @@ class NTUplace4H:
                 else:
                     result.scaled_hpwl = result.hpwl_final
                 save_stage("route")
+        if cfg.runs_dir:
+            try:
+                from repro.obs.runs import record_flow_run
+
+                result.run_id = record_flow_run(cfg.runs_dir, result, cfg)
+            except Exception as exc:
+                # A registry that cannot be written must not kill the run.
+                _log.warning(
+                    "run-history record failed (%s: %s)",
+                    type(exc).__name__,
+                    exc,
+                )
         return result
 
     # ------------------------------------------------------------------

@@ -1,4 +1,4 @@
-"""Observability: hierarchical tracing, metrics, logging, JSONL export.
+"""Observability: tracing, streaming telemetry, profiling, run history.
 
 The flow, placer, legalizer, detailed placer, and router are all
 instrumented against this package.  By default the current tracer is a
@@ -7,9 +7,28 @@ no-op singleton, so instrumentation is free; install a real
 spans, per-iteration metric series, and log events, then export them
 with :func:`write_jsonl` or render :func:`format_trace_summary`.
 
+A tracer is also a live telemetry bus: attach sinks
+(:class:`JsonlStreamSink` for ``tail -f``-able traces,
+:class:`HeartbeatSink` for progress lines, :class:`CallbackSink` for
+in-process subscribers, :class:`FlightRecorder` for crash dumps) with
+``tracer.add_sink(...)``.  :mod:`repro.obs.profile` adds per-span
+resource deltas and a stdlib sampling profiler;
+:mod:`repro.obs.runs` keeps a persistent registry of flow runs
+(``repro runs list|show|diff``).
+
 See ``docs/observability.md`` for the API and the JSONL schema.
 """
 
+from repro.obs.bus import (
+    EXPORT_TYPES,
+    CallbackSink,
+    FlightRecorder,
+    HeartbeatSink,
+    JsonlStreamSink,
+    TelemetrySink,
+    dumps_record,
+    make_meta,
+)
 from repro.obs.export import (
     SCHEMA_VERSION,
     format_trace_summary,
@@ -29,6 +48,22 @@ from repro.obs.metrics import (
     NullRegistry,
     Sample,
 )
+from repro.obs.profile import SamplingProfiler
+from repro.obs.runs import (
+    RUN_SCHEMA_VERSION,
+    TOLERANCES,
+    RunRecord,
+    RunRegistry,
+    RunRegistryError,
+    diff_runs,
+    record_flow_run,
+)
+from repro.obs.schema import (
+    SchemaError,
+    validate_run_record,
+    validate_trace_record,
+    validate_trace_records,
+)
 from repro.obs.tracer import (
     NULL_TRACER,
     Event,
@@ -42,28 +77,48 @@ from repro.obs.tracer import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "EXPORT_TYPES",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "RUN_SCHEMA_VERSION",
     "SCHEMA_VERSION",
+    "TOLERANCES",
+    "CallbackSink",
     "Counter",
     "Event",
+    "FlightRecorder",
     "Gauge",
+    "HeartbeatSink",
     "Histogram",
+    "JsonlStreamSink",
     "MetricsRegistry",
     "NullRegistry",
     "NullTracer",
+    "RunRecord",
+    "RunRegistry",
+    "RunRegistryError",
     "Sample",
+    "SamplingProfiler",
+    "SchemaError",
     "Span",
+    "TelemetrySink",
     "Tracer",
     "TracerEventHandler",
     "configure_logging",
+    "diff_runs",
+    "dumps_record",
     "format_trace_summary",
     "get_logger",
     "get_tracer",
     "iter_records",
+    "make_meta",
     "read_jsonl",
+    "record_flow_run",
     "set_tracer",
     "span_rows",
     "use_tracer",
+    "validate_run_record",
+    "validate_trace_record",
+    "validate_trace_records",
     "write_jsonl",
 ]

@@ -1,0 +1,279 @@
+"""The telemetry bus: live subscribers ("sinks") on a :class:`Tracer`.
+
+PR 1's tracer was batch-only — spans buffered in memory, JSONL written
+after the flow finished.  A live job server (ROADMAP item 1) needs
+telemetry *as it happens*, so the tracer now fans every record out to
+attached sinks the moment it is produced:
+
+* ``span_open`` when a span is entered,
+* ``span`` when it closes (same payload as batch export),
+* ``event`` for point events (including bridged log records),
+* ``sample`` for per-iteration metric samples.
+
+Records are plain JSON-serializable dicts — the exact objects batch
+export would write — so a streaming file and a batch file contain the
+same lines.  Sinks implement three methods (:meth:`TelemetrySink.open`,
+:meth:`~TelemetrySink.handle`, :meth:`~TelemetrySink.close`); a sink
+that raises is detached after repeated failures rather than killing the
+instrumented run.
+
+Provided sinks:
+
+* :class:`JsonlStreamSink` — appends records line-by-line so the trace
+  file is ``tail -f``-able mid-run; its final contents match batch
+  export record-for-record.
+* :class:`HeartbeatSink` — emits a one-line progress beat (stage,
+  iteration, elapsed) at a configurable cadence.
+* :class:`CallbackSink` — invokes an in-process callback per record;
+  the future job engine subscribes through this.
+* :class:`FlightRecorder` — a bounded ring buffer holding the last N
+  records; :meth:`FlightRecorder.dump` writes them out on crash or
+  degradation (the flow triggers it via
+  :meth:`Tracer.dump_flight_recorders`).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+import sys
+import threading
+import time
+from collections import deque
+
+from repro.obs.schema import SCHEMA_VERSION
+
+#: Record types that belong in an exported trace file (matches batch
+#: export; ``span_open`` is live-progress-only).
+EXPORT_TYPES = frozenset({"span", "event", "sample"})
+
+#: Consecutive ``handle`` failures after which a sink is detached.
+MAX_SINK_FAILURES = 3
+
+
+def dumps_record(record: dict) -> str:
+    """The one canonical serialization of a record (used everywhere)."""
+    return json.dumps(record, sort_keys=True)
+
+
+def make_meta(meta: dict | None = None) -> dict:
+    """A ``meta`` header record carrying the schema version."""
+    header = {"type": "meta", "schema": SCHEMA_VERSION}
+    if meta:
+        header.update(meta)
+    return header
+
+
+class TelemetrySink:
+    """Base class for bus subscribers.  All methods are optional."""
+
+    def open(self, meta: dict) -> None:
+        """Called once when attached; ``meta`` is the header record."""
+
+    def handle(self, record: dict) -> None:
+        """Called for every record the tracer produces."""
+
+    def close(self, snapshot: dict) -> None:
+        """Called once on detach; ``snapshot`` is the ``metrics`` record."""
+
+
+class JsonlStreamSink(TelemetrySink):
+    """Streams records to a JSONL file, one line per record, flushed.
+
+    The file is readable while the run is still in flight (``tail -f``,
+    partial :func:`~repro.obs.export.read_jsonl`); after ``close`` it
+    contains exactly the records batch export would have written — the
+    ``meta`` header first, then every span/event/sample in production
+    order, then the trailing ``metrics`` snapshot.
+
+    ``include_open=True`` additionally streams ``span_open`` records
+    (live progress at the cost of batch-export parity).
+    """
+
+    def __init__(self, path, *, include_open: bool = False):
+        self.path = str(path)
+        self._include_open = include_open
+        self._lock = threading.Lock()
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self.records_written = 0
+
+    def _write(self, record: dict) -> None:
+        line = dumps_record(record) + "\n"
+        with self._lock:
+            if self._fh is None:
+                return
+            self._fh.write(line)
+            self._fh.flush()
+            self.records_written += 1
+
+    def open(self, meta: dict) -> None:
+        self._write(meta)
+
+    def handle(self, record: dict) -> None:
+        rtype = record.get("type")
+        if rtype in EXPORT_TYPES or (
+            self._include_open and rtype == "span_open"
+        ):
+            self._write(record)
+
+    def close(self, snapshot: dict) -> None:
+        self._write(snapshot)
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+
+_ITER_RE = re.compile(r"\[(\d+)\]")
+
+
+class HeartbeatSink(TelemetrySink):
+    """Emits a progress line (stage, iteration, elapsed) at a cadence.
+
+    Every record updates the current position (innermost opened span
+    path plus the latest ``iter[N]`` index seen); whenever at least
+    ``interval`` seconds have passed since the last beat, one line is
+    written to ``stream`` (default stderr) or passed to ``emit``.
+
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        interval: float = 5.0,
+        *,
+        stream: io.TextIOBase | None = None,
+        emit=None,
+        clock=time.perf_counter,
+    ):
+        self.interval = float(interval)
+        self._stream = stream
+        self._emit = emit
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started = clock()
+        self._last_beat = self._started
+        self._stage = ""
+        self._iteration: int | None = None
+        self._records = 0
+        self.beats = 0
+
+    def _position(self, record: dict) -> None:
+        rtype = record.get("type")
+        if rtype in ("span_open", "span"):
+            path = record.get("path", "")
+            if rtype == "span_open":
+                self._stage = path
+            else:
+                # A close backs out to the parent path.
+                self._stage = path.rsplit("/", 1)[0] if "/" in path else ""
+            m = None
+            for m in _ITER_RE.finditer(path):
+                pass
+            if m is not None:
+                self._iteration = int(m.group(1))
+
+    def handle(self, record: dict) -> None:
+        with self._lock:
+            self._records += 1
+            self._position(record)
+            now = self._clock()
+            if now - self._last_beat < self.interval:
+                return
+            self._last_beat = now
+            self.beats += 1
+            beat = {
+                "stage": self._stage,
+                "iteration": self._iteration,
+                "elapsed_s": round(now - self._started, 3),
+                "records": self._records,
+            }
+        if self._emit is not None:
+            self._emit(beat)
+            return
+        stream = self._stream if self._stream is not None else sys.stderr
+        iteration = "" if beat["iteration"] is None else f" iter={beat['iteration']}"
+        stream.write(
+            f"[heartbeat] stage={beat['stage'] or '-'}{iteration} "
+            f"elapsed={beat['elapsed_s']:.1f}s records={beat['records']}\n"
+        )
+        stream.flush()
+
+
+class CallbackSink(TelemetrySink):
+    """Forwards records to an in-process callback (the job-engine hook).
+
+    ``types`` limits which record types are delivered (``None`` = all,
+    including ``span_open``).  The callback receives the record dict;
+    it must not mutate it.
+    """
+
+    def __init__(self, callback, *, types=None):
+        self._callback = callback
+        self._types = frozenset(types) if types is not None else None
+
+    def handle(self, record: dict) -> None:
+        if self._types is None or record.get("type") in self._types:
+            self._callback(record)
+
+
+class FlightRecorder(TelemetrySink):
+    """Bounded ring buffer of the last ``capacity`` records.
+
+    Always armed and nearly free (one deque append per record); on
+    crash or watchdog degradation the flow calls
+    :meth:`Tracer.dump_flight_recorders`, which invokes :meth:`dump` on
+    every attached recorder — the last-N records, a meta header naming
+    the reason, and the latest metric values land in a JSONL file for
+    post-mortem reading.
+    """
+
+    def __init__(self, capacity: int = 512, *, path=None):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.path = str(path) if path is not None else None
+        self._lock = threading.Lock()
+        self._buffer: deque = deque(maxlen=self.capacity)
+        self._meta: dict = make_meta()
+        self._dumps = 0
+
+    def open(self, meta: dict) -> None:
+        self._meta = dict(meta)
+
+    def handle(self, record: dict) -> None:
+        with self._lock:
+            self._buffer.append(record)
+
+    def records(self) -> list[dict]:
+        """The buffered records, oldest first."""
+        with self._lock:
+            return list(self._buffer)
+
+    def dump(self, path=None, *, reason: str = "") -> str:
+        """Write the buffered records as JSONL; returns the path written.
+
+        ``path`` overrides the configured one; with neither set a
+        ``flight-<n>.jsonl`` file is written in the working directory.
+        Repeated dumps get ``-2``, ``-3``... suffixes so an earlier
+        post-mortem is never overwritten.
+        """
+        with self._lock:
+            records = list(self._buffer)
+            self._dumps += 1
+            seq = self._dumps
+        target = str(path) if path is not None else self.path
+        if target is None:
+            target = "flight.jsonl"
+        if seq > 1:
+            stem, dot, ext = target.rpartition(".")
+            target = f"{stem}-{seq}.{ext}" if dot else f"{target}-{seq}"
+        header = dict(self._meta)
+        header["reason"] = reason or "dump"
+        header["buffered"] = len(records)
+        with open(target, "w", encoding="utf-8") as fh:
+            fh.write(dumps_record(header) + "\n")
+            for record in records:
+                fh.write(dumps_record(record) + "\n")
+        return target

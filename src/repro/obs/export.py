@@ -3,7 +3,14 @@
 One trace file is JSON Lines: the first record is a ``meta`` header,
 followed by one record per finished span, per event, per metric sample,
 and one trailing ``metrics`` snapshot of the instrument state.  The
-schema is documented in ``docs/observability.md``.
+schema is versioned (:data:`repro.obs.schema.SCHEMA_VERSION`) and
+documented in ``docs/observability.md`` plus the machine-readable
+``docs/schemas/trace-records-v2.schema.json``.
+
+Batch export (:func:`write_jsonl`, after the run) and the streaming
+:class:`~repro.obs.bus.JsonlStreamSink` (line-by-line, mid-run) write
+the same records through the same serializer, so the two files contain
+identical lines — only the interleaving differs.
 """
 
 from __future__ import annotations
@@ -11,17 +18,23 @@ from __future__ import annotations
 import json
 
 from repro.metrics.report import format_table
+from repro.obs.bus import dumps_record, make_meta
+from repro.obs.schema import SCHEMA_VERSION  # re-exported for callers
 from repro.obs.tracer import Tracer
 
-SCHEMA_VERSION = 1
+__all__ = [
+    "SCHEMA_VERSION",
+    "format_trace_summary",
+    "iter_records",
+    "read_jsonl",
+    "span_rows",
+    "write_jsonl",
+]
 
 
 def iter_records(tracer: Tracer, meta: dict | None = None):
     """Yield the JSON-serializable records of one trace, header first."""
-    header = {"type": "meta", "schema": SCHEMA_VERSION}
-    if meta:
-        header.update(meta)
-    yield header
+    yield make_meta(meta)
     for span in tracer.finished_spans():
         yield span.as_record()
     for event in tracer.events():
@@ -41,19 +54,31 @@ def write_jsonl(tracer: Tracer, path, meta: dict | None = None) -> int:
     count = 0
     with open(path, "w", encoding="utf-8") as fh:
         for record in iter_records(tracer, meta):
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.write(dumps_record(record) + "\n")
             count += 1
     return count
 
 
 def read_jsonl(path) -> list[dict]:
-    """Parse a trace file back into its records (blank lines skipped)."""
+    """Parse a trace file back into its records (blank lines skipped).
+
+    A trailing partial line (a streaming write caught mid-record) is
+    ignored, so a file being written by a ``JsonlStreamSink`` can be
+    read at any moment — every *complete* line is a valid record.
+    """
     records = []
     with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = fh.read().split("\n")
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # mid-write tail of a live stream
+            raise
     return records
 
 
@@ -64,11 +89,19 @@ def span_rows(tracer: Tracer, max_depth: int | None = None) -> list[dict]:
     share of the run (total of all root spans).  Rows are ordered by
     first appearance in the span tree (roots in start order, children
     under their parent), so the table reads like an indented profile.
+
+    Degenerate traces still produce a well-formed table: an empty trace
+    yields no rows; spans closed out of order (e.g. via exceptions
+    unwinding through several levels) aggregate by their recorded path;
+    duplicate paths recorded at different depths collapse onto the
+    shallowest occurrence; and orphan spans whose parent never finished
+    are appended at the end rather than silently dropped.
     """
     spans = tracer.finished_spans()
     if max_depth is not None:
         spans = [s for s in spans if s.depth <= max_depth]
     agg: dict[str, dict] = {}
+    any_resources = False
     for span in spans:
         row = agg.get(span.path)
         if row is None:
@@ -78,47 +111,78 @@ def span_rows(tracer: Tracer, max_depth: int | None = None) -> list[dict]:
                 "calls": 0,
                 "total_s": 0.0,
                 "start": span.start,
+                "cpu_s": 0.0,
             }
         row["calls"] += 1
         row["total_s"] += span.duration
         row["start"] = min(row["start"], span.start)
+        # A corrupted stack can record the same path at two depths; the
+        # shallowest wins so the row still nests under a real parent.
+        row["depth"] = min(row["depth"], span.depth)
+        if span.resources is not None:
+            any_resources = True
+            row["cpu_s"] += span.resources.get("cpu_s", 0.0)
+    if not agg:
+        return []
     root_total = sum(r["total_s"] for r in agg.values() if r["depth"] == 0)
     rows = sorted(agg.values(), key=lambda r: (r["path"].count("/"), r["start"]))
     # Re-order depth-first: children directly under their parent.
     ordered: list[dict] = []
+    placed: set[str] = set()
 
     def place(prefix: str, depth: int) -> None:
         for row in rows:
+            if row["path"] in placed:
+                continue
             parent = row["path"].rsplit("/", 1)[0] if "/" in row["path"] else ""
             if row["depth"] == depth and parent == prefix:
+                placed.add(row["path"])
                 ordered.append(row)
                 place(row["path"], depth + 1)
 
     place("", 0)
+    # Orphans: a finished child whose parent never closed (crash, span
+    # still open at export time).  Keep them visible, in start order.
+    for row in rows:
+        if row["path"] not in placed:
+            ordered.append(row)
     out = []
     for row in ordered:
         indent = "  " * row["depth"]
-        out.append(
-            {
-                "span": indent + row["path"].rsplit("/", 1)[-1],
-                "calls": row["calls"],
-                "total_s": round(row["total_s"], 3),
-                "mean_s": round(row["total_s"] / max(row["calls"], 1), 4),
-                "share": (
-                    f"{100.0 * row['total_s'] / root_total:.1f}%"
-                    if root_total > 0
-                    else "-"
-                ),
-            }
-        )
+        entry = {
+            "span": indent + row["path"].rsplit("/", 1)[-1],
+            "calls": row["calls"],
+            "total_s": round(row["total_s"], 3),
+            "mean_s": round(row["total_s"] / max(row["calls"], 1), 4),
+            "share": (
+                f"{100.0 * row['total_s'] / root_total:.1f}%"
+                if root_total > 0
+                else "-"
+            ),
+        }
+        if any_resources:
+            entry["cpu_s"] = round(row["cpu_s"], 3)
+        out.append(entry)
     return out
 
 
 def format_trace_summary(
-    tracer: Tracer, *, max_depth: int | None = 2, title: str = "trace summary"
+    tracer: Tracer,
+    *,
+    max_depth: int | None = 2,
+    title: str = "trace summary",
+    profile=None,
 ) -> str:
-    """Stage-breakdown table plus a one-line digest of the metric series."""
-    parts = [format_table(span_rows(tracer, max_depth), title=title)]
+    """Stage-breakdown table plus a one-line digest of the metric series.
+
+    ``profile`` (a :class:`~repro.obs.profile.SamplingProfiler`) appends
+    its top-functions table when given.
+    """
+    rows = span_rows(tracer, max_depth)
+    if rows:
+        parts = [format_table(rows, title=title)]
+    else:
+        parts = [f"{title}\n(no spans recorded)"]
     sample_counts: dict[str, int] = {}
     last_value: dict[str, float] = {}
     for s in tracer.metrics.samples():
@@ -134,4 +198,16 @@ def format_trace_summary(
             for name in sorted(sample_counts)
         ]
         parts.append(format_table(rows, title="metric series"))
+    if profile is not None:
+        top = profile.report()
+        if top:
+            parts.append(
+                format_table(
+                    top,
+                    title=(
+                        f"sampling profile ({profile.samples} samples @ "
+                        f"{profile.interval * 1000:.1f}ms)"
+                    ),
+                )
+            )
     return "\n\n".join(parts)

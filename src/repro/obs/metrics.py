@@ -87,16 +87,32 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named instruments plus per-iteration sample series, thread-safe."""
+    """Named instruments plus per-iteration sample series, thread-safe.
+
+    ``on_sample`` (when set) is invoked with each :class:`Sample` right
+    after it is appended — the tracer uses this to stream samples to its
+    sinks.  ``reset()`` empties the registry in place; the flow instead
+    swaps in a fresh registry per run via ``Tracer.fresh_metrics()`` so
+    back-to-back runs never accumulate each other's series.
+    """
 
     enabled = True
 
-    def __init__(self):
+    def __init__(self, *, on_sample=None):
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._samples: list[Sample] = []
+        self.on_sample = on_sample
+
+    def reset(self) -> None:
+        """Drop every instrument and sample (explicit re-scoping)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._samples.clear()
 
     # -- instruments (get-or-create) -----------------------------------
     def counter(self, name: str) -> Counter:
@@ -126,6 +142,9 @@ class MetricsRegistry:
         sample = Sample(metric, int(step), float(value))
         with self._lock:
             self._samples.append(sample)
+        callback = self.on_sample
+        if callback is not None:
+            callback(sample)
 
     def samples(self, metric: str | None = None) -> list[Sample]:
         """All samples (or only ``metric``'s), in recording order."""
@@ -183,6 +202,10 @@ class NullRegistry:
     """Disabled registry: accepts every call, records nothing."""
 
     enabled = False
+    on_sample = None
+
+    def reset(self) -> None:
+        pass
 
     def counter(self, name: str) -> _NullInstrument:
         return _NULL_INSTRUMENT

@@ -1,0 +1,246 @@
+"""Versioned schemas for streamed trace records and run-history records.
+
+Two record families leave the process as JSON:
+
+* **trace records** — the JSONL stream written by batch export
+  (:func:`repro.obs.export.write_jsonl`), by the streaming
+  :class:`~repro.obs.bus.JsonlStreamSink`, and by flight-recorder dumps.
+  Their schema version is :data:`SCHEMA_VERSION`; every ``meta`` header
+  carries it.
+* **run records** — the per-flow summary rows appended to the run
+  registry (:mod:`repro.obs.runs`), versioned by
+  :data:`RUN_SCHEMA_VERSION`.
+
+Both schemas are expressed as restricted JSON-Schema documents built by
+:func:`build_trace_schema` / :func:`build_run_schema` and committed under
+``docs/schemas/`` (a test asserts the committed files match).  The
+:func:`validate` function implements exactly the keyword subset those
+documents use — ``type``, ``properties``, ``required``,
+``additionalProperties``, ``items``, ``enum``, ``minimum`` — so records
+can be validated without third-party dependencies.
+"""
+
+from __future__ import annotations
+
+#: Trace-record schema version (bumped in PR 6: streamed ``span_open``
+#: records, optional per-span ``resources``, richer ``meta`` headers).
+SCHEMA_VERSION = 2
+
+#: Run-registry record schema version.
+RUN_SCHEMA_VERSION = 1
+
+_NUM = {"type": ["number", "integer"]}
+_STR = {"type": "string"}
+_INT = {"type": "integer"}
+_OBJ = {"type": "object"}
+_BOOL = {"type": "boolean"}
+
+
+def _record(type_name: str, properties: dict, required: list[str],
+            additional: bool = False) -> dict:
+    props = {"type": {"enum": [type_name]}}
+    props.update(properties)
+    return {
+        "type": "object",
+        "properties": props,
+        "required": ["type", *required],
+        "additionalProperties": additional,
+    }
+
+
+def build_trace_schema() -> dict:
+    """The JSON-Schema document for trace-record streams (JSONL lines)."""
+    resources = {
+        "type": "object",
+        "properties": {
+            "cpu_s": _NUM,
+            "rss_delta_kb": _NUM,
+            "tracemalloc_peak_kb": _NUM,
+        },
+        "additionalProperties": False,
+    }
+    span_props = {
+        "name": _STR,
+        "path": _STR,
+        "start": _NUM,
+        "duration": _NUM,
+        "depth": {"type": "integer", "minimum": 0},
+        "attrs": _OBJ,
+        "error": _STR,
+        "resources": resources,
+    }
+    return {
+        "$id": f"repro/trace-records/v{SCHEMA_VERSION}",
+        "title": "repro.obs trace records",
+        "description": "One JSON object per line; dispatch on 'type'.",
+        "version": SCHEMA_VERSION,
+        "records": {
+            "meta": _record(
+                "meta",
+                {"schema": _INT, "reason": _STR},
+                ["schema"],
+                additional=True,
+            ),
+            "span": _record(
+                "span",
+                span_props,
+                ["name", "path", "start", "duration", "depth"],
+            ),
+            "span_open": _record(
+                "span_open",
+                {
+                    "name": _STR,
+                    "path": _STR,
+                    "start": _NUM,
+                    "depth": {"type": "integer", "minimum": 0},
+                    "attrs": _OBJ,
+                },
+                ["name", "path", "start", "depth"],
+            ),
+            "event": _record(
+                "event",
+                {"name": _STR, "path": _STR, "time": _NUM, "attrs": _OBJ},
+                ["name", "path", "time"],
+            ),
+            "sample": _record(
+                "sample",
+                {"metric": _STR, "step": _INT, "value": _NUM},
+                ["metric", "step", "value"],
+            ),
+            "metrics": _record(
+                "metrics",
+                {"counters": _OBJ, "gauges": _OBJ, "histograms": _OBJ},
+                ["counters", "gauges", "histograms"],
+            ),
+        },
+    }
+
+
+def build_run_schema() -> dict:
+    """The JSON-Schema document for run-registry records."""
+    return {
+        "$id": f"repro/run-record/v{RUN_SCHEMA_VERSION}",
+        "title": "repro.obs run-history record",
+        "version": RUN_SCHEMA_VERSION,
+        "records": {
+            "run": {
+                "type": "object",
+                "properties": {
+                    "schema": _INT,
+                    "run_id": _STR,
+                    "created": _NUM,
+                    "design": _STR,
+                    "flow": _STR,
+                    "config_hash": _STR,
+                    "git_rev": {"type": ["string", "null"]},
+                    "legal": _BOOL,
+                    "degraded": _BOOL,
+                    "degradation": {"type": "array", "items": _OBJ},
+                    "stage_seconds": _OBJ,
+                    "metrics": _OBJ,
+                    "trace_path": {"type": ["string", "null"]},
+                },
+                "required": [
+                    "schema", "run_id", "created", "design", "flow",
+                    "config_hash", "legal", "degraded", "stage_seconds",
+                    "metrics",
+                ],
+                "additionalProperties": False,
+            }
+        },
+    }
+
+
+class SchemaError(ValueError):
+    """A record does not conform to its schema."""
+
+
+def _type_ok(value, type_name: str) -> bool:
+    if type_name == "object":
+        return isinstance(value, dict)
+    if type_name == "array":
+        return isinstance(value, list)
+    if type_name == "string":
+        return isinstance(value, str)
+    if type_name == "integer":
+        # bool is an int subclass; JSON distinguishes them.
+        return isinstance(value, int) and not isinstance(value, bool)
+    if type_name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if type_name == "boolean":
+        return isinstance(value, bool)
+    if type_name == "null":
+        return value is None
+    raise SchemaError(f"unsupported schema type {type_name!r}")
+
+
+def validate(instance, schema: dict, path: str = "$") -> None:
+    """Check ``instance`` against a restricted JSON-Schema ``schema``.
+
+    Raises :class:`SchemaError` with a JSON-pointer-ish location on the
+    first violation; returns ``None`` on success.
+    """
+    types = schema.get("type")
+    if types is not None:
+        if isinstance(types, str):
+            types = [types]
+        if not any(_type_ok(instance, t) for t in types):
+            raise SchemaError(
+                f"{path}: expected type {'/'.join(types)}, "
+                f"got {type(instance).__name__}"
+            )
+    if "enum" in schema and instance not in schema["enum"]:
+        raise SchemaError(f"{path}: {instance!r} not in {schema['enum']!r}")
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            raise SchemaError(
+                f"{path}: {instance!r} < minimum {schema['minimum']!r}"
+            )
+    if isinstance(instance, dict):
+        props = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in instance:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+        additional = schema.get("additionalProperties", True)
+        for key, value in instance.items():
+            if key in props:
+                validate(value, props[key], f"{path}.{key}")
+            elif additional is False:
+                raise SchemaError(f"{path}: unexpected key {key!r}")
+            elif isinstance(additional, dict):
+                validate(value, additional, f"{path}.{key}")
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            validate(item, schema["items"], f"{path}[{i}]")
+
+
+def validate_trace_record(record: dict, schema: dict | None = None) -> None:
+    """Validate one trace record against the per-type trace schema."""
+    schema = schema or build_trace_schema()
+    if not isinstance(record, dict):
+        raise SchemaError(f"record must be an object, got {type(record).__name__}")
+    rtype = record.get("type")
+    sub = schema["records"].get(rtype)
+    if sub is None:
+        known = ", ".join(sorted(schema["records"]))
+        raise SchemaError(f"unknown record type {rtype!r} (known: {known})")
+    validate(record, sub)
+
+
+def validate_trace_records(records: list[dict]) -> None:
+    """Validate a whole trace: a leading ``meta`` header, then records."""
+    if not records:
+        raise SchemaError("empty trace: missing meta header")
+    if records[0].get("type") != "meta":
+        raise SchemaError("first record must be the meta header")
+    schema = build_trace_schema()
+    for i, record in enumerate(records):
+        try:
+            validate_trace_record(record, schema)
+        except SchemaError as exc:
+            raise SchemaError(f"record {i}: {exc}") from None
+
+
+def validate_run_record(record: dict) -> None:
+    """Validate one run-registry record."""
+    validate(record, build_run_schema()["records"]["run"])

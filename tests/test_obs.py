@@ -14,6 +14,7 @@ from repro.flow import FlowConfig, NTUplace4H
 from repro.obs import (
     NULL_REGISTRY,
     NULL_TRACER,
+    SCHEMA_VERSION,
     Histogram,
     MetricsRegistry,
     Tracer,
@@ -197,7 +198,7 @@ class TestJsonlRoundTrip:
         records = read_jsonl(path)
         assert len(records) == count
         assert records[0]["type"] == "meta"
-        assert records[0]["schema"] == 1
+        assert records[0]["schema"] == SCHEMA_VERSION
         assert records[0]["design"] == "d"
         by_type = {}
         for rec in records:
@@ -250,6 +251,110 @@ class TestSummary:
         assert "gp" in out and "route" in out
         assert "metric series" in out
         assert "gp.hpwl" in out
+
+
+class TestSummaryEdgeCases:
+    def test_empty_trace_is_well_formed(self):
+        t = Tracer()
+        assert span_rows(t) == []
+        out = format_trace_summary(t)
+        assert "no spans recorded" in out
+
+    def test_out_of_order_close_via_exception(self):
+        # An exception unwinding through nested spans closes children
+        # and parents in one sweep; the summary must still nest cleanly.
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.span("flow"):
+                with t.span("gp"):
+                    with t.span("iter[0]"):
+                        raise RuntimeError("boom")
+        rows = span_rows(t)
+        assert [r["span"].strip() for r in rows] == ["flow", "gp", "iter[0]"]
+        assert rows[0]["share"] == "100.0%"
+
+    def test_orphan_span_without_finished_parent(self):
+        # A child finished while its parent is still open (export taken
+        # mid-run, or a crash) must appear, not vanish.
+        t = Tracer()
+        handle = t.span("flow")
+        handle.__enter__()
+        with t.span("gp"):
+            pass
+        rows = span_rows(t)
+        assert [r["span"].strip() for r in rows] == ["gp"]
+        assert rows[0]["share"] == "-"  # no finished roots -> no total
+        handle.__exit__(None, None, None)
+
+    def test_duplicate_paths_at_different_depths_collapse(self):
+        # Simulate a corrupted stack: the same path recorded at two
+        # depths aggregates onto one row at the shallowest depth.
+        t = Tracer()
+        with t.span("flow"):
+            with t.span("gp"):
+                pass
+        for span in t.finished_spans():
+            if span.path == "flow/gp":
+                dup = type(span)(
+                    name="gp", path="flow/gp", start=span.start,
+                    duration=0.1, depth=2,
+                )
+                t._spans.append(dup)
+        rows = span_rows(t)
+        names = [r["span"].strip() for r in rows]
+        assert names == ["flow", "gp"]
+        assert rows[1]["calls"] == 2
+
+    def test_duplicate_names_same_depth_distinct_parents(self):
+        t = Tracer()
+        with t.span("flow"):
+            with t.span("gp"):
+                with t.span("cg"):
+                    pass
+            with t.span("refine"):
+                with t.span("cg"):
+                    pass
+        rows = span_rows(t, max_depth=None)
+        names = [r["span"].strip() for r in rows]
+        # Each "cg" stays under its own parent.
+        assert names == ["flow", "gp", "cg", "refine", "cg"]
+
+
+class TestMetricsIsolation:
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.0)
+        reg.record("m", 0, 1.0)
+        reg.reset()
+        assert reg.samples() == []
+        snap = reg.snapshot()
+        assert snap["counters"] == {} and snap["gauges"] == {}
+
+    def test_fresh_metrics_swaps_registry(self):
+        t = Tracer()
+        t.metrics.record("m", 0, 1.0)
+        old = t.metrics
+        new = t.fresh_metrics()
+        assert new is t.metrics and new is not old
+        assert new.samples() == []
+        assert old.samples()  # the old registry is untouched
+
+    def test_back_to_back_flow_runs_do_not_accumulate(self):
+        # Two runs under ONE tracer: the second run's series must not
+        # contain the first run's samples (fresh registry per run()).
+        tracer = Tracer()
+        cfg = _fast_cfg()
+        cfg.gp.max_outer_iterations = 4
+        cfg.run_dp = False
+        with use_tracer(tracer):
+            NTUplace4H(cfg).run(_bench(), route=False)
+            first = [s.step for s in tracer.metrics.samples("gp.hpwl")]
+            NTUplace4H(cfg).run(_bench(), route=False)
+        second = [s.step for s in tracer.metrics.samples("gp.hpwl")]
+        assert first, "first run must record gp.hpwl"
+        assert second == first  # identical seeded run, NOT doubled
+        assert len(set(second)) == len(second)
 
 
 class TestLoggingBridge:
