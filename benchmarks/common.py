@@ -97,6 +97,28 @@ def run_quadratic(name: str):
     return design, result
 
 
+def host_metadata(workers: int | None = None) -> dict:
+    """Host/core facts stamped into bench records.
+
+    Parallel speedups are meaningless without knowing what they ran on,
+    so every BENCH JSON carries the physical/logical core counts (SMT
+    siblings collapse into one physical core) and, when given, the
+    worker count the record's parallel fields used.
+    """
+    import platform
+
+    from repro.parallel import logical_cores, physical_cores
+
+    meta = {
+        "hostname": platform.node(),
+        "physical_cores": physical_cores(),
+        "logical_cores": logical_cores(),
+    }
+    if workers is not None:
+        meta["workers"] = workers
+    return meta
+
+
 def print_banner(title: str) -> None:
     line = "=" * max(40, len(title) + 4)
     print(f"\n{line}\n  {title}\n{line}")

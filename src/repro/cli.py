@@ -242,9 +242,19 @@ def _apply_route_knobs(cfg: FlowConfig, args) -> None:
         cfg.route_max_maze_nets = args.max_maze_nets
     if args.cost_refresh is not None:
         cfg.route_cost_refresh = args.cost_refresh
+    if args.workers is not None:
+        cfg.workers = args.workers
+    if getattr(args, "parallel_fast", False):
+        cfg.deterministic = False
 
 
 def _add_route_knobs(p) -> None:
+    p.add_argument(
+        "--workers", type=int, metavar="N",
+        help="worker processes for the parallel GP/legalization/routing "
+        "paths (default 1 = serial, honouring $REPRO_WORKERS; 0 = one "
+        "per CPU core)",
+    )
     p.add_argument(
         "--route-sweeps", type=int, metavar="N",
         help="number of vectorized L-routing sweeps",
@@ -285,6 +295,12 @@ def _add_dp_knobs(p) -> None:
         "per-object reference paths (bit-identical, slower; for "
         "equivalence debugging)",
     )
+    p.add_argument(
+        "--parallel-fast", action="store_true",
+        help="with --workers N: let GP workers pre-reduce their shard "
+        "(faster; reproducible per worker count instead of bit-identical "
+        "across counts)",
+    )
 
 
 def _cmd_route(args) -> int:
@@ -305,6 +321,7 @@ def _cmd_route(args) -> int:
                 maze_rounds=cfg.route_maze_rounds,
                 max_maze_nets=cfg.route_max_maze_nets,
                 cost_refresh=cfg.route_cost_refresh,
+                workers=cfg.workers,
             ).route(design)
     except Exception as exc:
         _report_flow_failure(tracer, exc)

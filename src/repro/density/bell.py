@@ -261,6 +261,111 @@ class BellDensity:
         dp *= sgn
 
     # ------------------------------------------------------------------
+    def _small_window(self, cx: np.ndarray, cy: np.ndarray):
+        """Window tables and per-bin contributions for this instance's
+        small nodes.
+
+        Every operation is per-node-row independent, so an instance
+        carrying only a contiguous *chunk* of the small nodes (see
+        ``repro.parallel.gp``) computes rows bit-identical to the ones
+        the full instance would.  Returns
+        ``(flat, px, dpx, py, dpy, norm, contrib)``; the caller owns the
+        scatter/reduction of ``contrib`` into the field.
+        """
+        grid = self.grid
+        idx = self._small
+        n = len(idx)
+        kx, ky = self._kx, self._ky
+        wb, hb = grid.bin_w, grid.bin_h
+        u = self._buf("u", (n, 1))
+        v = self._buf("v", (n, 1))
+        np.take(cx, idx, out=u[:, 0])
+        np.take(cy, idx, out=v[:, 0])
+        # ix0 = ceil((u - rx - xl)/wb - 0.5), per node
+        t = self._buf("t", (n, 1))
+        np.subtract(u, self._sm_rx, out=t)
+        t -= grid.area.xl
+        t /= wb
+        t -= 0.5
+        np.ceil(t, out=t)
+        ix0 = self._buf("ix0", (n, 1), dtype=np.int64)
+        np.copyto(ix0, t, casting="unsafe")
+        np.subtract(v, self._sm_ry, out=t)
+        t -= grid.area.yl
+        t /= hb
+        t -= 0.5
+        np.ceil(t, out=t)
+        iy0 = self._buf("iy0", (n, 1), dtype=np.int64)
+        np.copyto(iy0, t, casting="unsafe")
+        ix_all = self._buf("ix_all", (n, kx), dtype=np.int64)
+        iy_all = self._buf("iy_all", (n, ky), dtype=np.int64)
+        np.add(ix0, self._arange(kx), out=ix_all)
+        np.add(iy0, self._arange(ky), out=iy_all)
+        # bin centres, then signed distances, then kernels; the x and y
+        # windows share one fused (n, kx+ky) batch so the kernel's op
+        # sequence runs once instead of per axis.
+        kt = kx + ky
+        d_all = self._buf("d_all", (n, kt))
+        dx = d_all[:, :kx]
+        dy = d_all[:, kx:]
+        np.add(ix_all, 0.5, out=dx)
+        dx *= wb
+        dx += grid.area.xl                 # bin_cx
+        np.subtract(u, dx, out=dx)         # u - bin_cx
+        np.add(iy_all, 0.5, out=dy)
+        dy *= hb
+        dy += grid.area.yl
+        np.subtract(v, dy, out=dy)
+        p_all = self._buf("p_all", (n, kt))
+        dp_all = self._buf("dp_all", (n, kt))
+        self._bell_batch(
+            d_all, self._sm_r1, self._sm_r2, self._sm_a, self._sm_m2a,
+            self._sm_b, self._sm_b2, p_all, dp_all, "k",
+        )
+        px = p_all[:, :kx]
+        dpx = dp_all[:, :kx]
+        py = p_all[:, kx:]
+        dpy = dp_all[:, kx:]
+        # zero window columns that fall off the grid
+        mvx = self._buf("kx_m1", (n, kx), dtype=bool)
+        mvy = self._buf("ky_m1", (n, ky), dtype=bool)
+        np.less(ix_all, 0, out=mvx)
+        np.greater_equal(ix_all, grid.nx, out=self._buf("kx_m2", (n, kx), dtype=bool))
+        np.logical_or(mvx, self._bufs["kx_m2"], out=mvx)
+        np.copyto(px, 0.0, where=mvx)
+        np.copyto(dpx, 0.0, where=mvx)
+        np.less(iy_all, 0, out=mvy)
+        np.greater_equal(iy_all, grid.ny, out=self._buf("ky_m2", (n, ky), dtype=bool))
+        np.logical_or(mvy, self._bufs["ky_m2"], out=mvy)
+        np.copyto(py, 0.0, where=mvy)
+        np.copyto(dpy, 0.0, where=mvy)
+        # normalization: area / (Sx * Sy), guarded
+        sum_px = self._buf("sum_px", (n,))
+        sum_py = self._buf("sum_py", (n,))
+        px.sum(axis=1, out=sum_px)
+        py.sum(axis=1, out=sum_py)
+        mass = self._buf("mass", (n,))
+        np.multiply(sum_px, sum_py, out=mass)
+        if self._areas_small is None:
+            self._areas_small = self.areas[self._small]
+        norm = self._buf("norm", (n,))
+        np.maximum(mass, 1e-30, out=norm)
+        np.divide(self._areas_small, norm, out=norm)
+        mnz = self._buf("mnz", (n,), dtype=bool)
+        np.less_equal(mass, 0.0, out=mnz)
+        np.copyto(norm, 0.0, where=mnz)
+        # One flattened bincount instead of Kx*Ky scatter passes.
+        np.clip(ix_all, 0, grid.nx - 1, out=ix_all)
+        np.clip(iy_all, 0, grid.ny - 1, out=iy_all)
+        ix_all *= grid.ny
+        flat = self._buf("flat", (n, kx, ky), dtype=np.int64)
+        np.add(ix_all[:, :, None], iy_all[:, None, :], out=flat)
+        t2 = self._buf("t2", (n, kx))
+        np.multiply(norm[:, None], px, out=t2)
+        contrib = self._buf("contrib", (n, kx, ky))
+        np.multiply(t2[:, :, None], py[:, None, :], out=contrib)
+        return flat, px, dpx, py, dpy, norm, contrib
+
     def potential(self, cx: np.ndarray, cy: np.ndarray):
         """The bin potential field and the per-node kernel tables.
 
@@ -273,102 +378,12 @@ class BellDensity:
         small_tables = None
         phi = None
         if len(self._small):
-            idx = self._small
-            n = len(idx)
-            kx, ky = self._kx, self._ky
-            wb, hb = grid.bin_w, grid.bin_h
-            u = self._buf("u", (n, 1))
-            v = self._buf("v", (n, 1))
-            np.take(cx, idx, out=u[:, 0])
-            np.take(cy, idx, out=v[:, 0])
-            # ix0 = ceil((u - rx - xl)/wb - 0.5), per node
-            t = self._buf("t", (n, 1))
-            np.subtract(u, self._sm_rx, out=t)
-            t -= grid.area.xl
-            t /= wb
-            t -= 0.5
-            np.ceil(t, out=t)
-            ix0 = self._buf("ix0", (n, 1), dtype=np.int64)
-            np.copyto(ix0, t, casting="unsafe")
-            np.subtract(v, self._sm_ry, out=t)
-            t -= grid.area.yl
-            t /= hb
-            t -= 0.5
-            np.ceil(t, out=t)
-            iy0 = self._buf("iy0", (n, 1), dtype=np.int64)
-            np.copyto(iy0, t, casting="unsafe")
-            ix_all = self._buf("ix_all", (n, kx), dtype=np.int64)
-            iy_all = self._buf("iy_all", (n, ky), dtype=np.int64)
-            np.add(ix0, self._arange(kx), out=ix_all)
-            np.add(iy0, self._arange(ky), out=iy_all)
-            # bin centres, then signed distances, then kernels; the x and y
-            # windows share one fused (n, kx+ky) batch so the kernel's op
-            # sequence runs once instead of per axis.
-            kt = kx + ky
-            d_all = self._buf("d_all", (n, kt))
-            dx = d_all[:, :kx]
-            dy = d_all[:, kx:]
-            np.add(ix_all, 0.5, out=dx)
-            dx *= wb
-            dx += grid.area.xl                 # bin_cx
-            np.subtract(u, dx, out=dx)         # u - bin_cx
-            np.add(iy_all, 0.5, out=dy)
-            dy *= hb
-            dy += grid.area.yl
-            np.subtract(v, dy, out=dy)
-            p_all = self._buf("p_all", (n, kt))
-            dp_all = self._buf("dp_all", (n, kt))
-            self._bell_batch(
-                d_all, self._sm_r1, self._sm_r2, self._sm_a, self._sm_m2a,
-                self._sm_b, self._sm_b2, p_all, dp_all, "k",
-            )
-            px = p_all[:, :kx]
-            dpx = dp_all[:, :kx]
-            py = p_all[:, kx:]
-            dpy = dp_all[:, kx:]
-            # zero window columns that fall off the grid
-            mvx = self._buf("kx_m1", (n, kx), dtype=bool)
-            mvy = self._buf("ky_m1", (n, ky), dtype=bool)
-            np.less(ix_all, 0, out=mvx)
-            np.greater_equal(ix_all, grid.nx, out=self._buf("kx_m2", (n, kx), dtype=bool))
-            np.logical_or(mvx, self._bufs["kx_m2"], out=mvx)
-            np.copyto(px, 0.0, where=mvx)
-            np.copyto(dpx, 0.0, where=mvx)
-            np.less(iy_all, 0, out=mvy)
-            np.greater_equal(iy_all, grid.ny, out=self._buf("ky_m2", (n, ky), dtype=bool))
-            np.logical_or(mvy, self._bufs["ky_m2"], out=mvy)
-            np.copyto(py, 0.0, where=mvy)
-            np.copyto(dpy, 0.0, where=mvy)
-            # normalization: area / (Sx * Sy), guarded
-            sum_px = self._buf("sum_px", (n,))
-            sum_py = self._buf("sum_py", (n,))
-            px.sum(axis=1, out=sum_px)
-            py.sum(axis=1, out=sum_py)
-            mass = self._buf("mass", (n,))
-            np.multiply(sum_px, sum_py, out=mass)
-            if self._areas_small is None:
-                self._areas_small = self.areas[self._small]
-            norm = self._buf("norm", (n,))
-            np.maximum(mass, 1e-30, out=norm)
-            np.divide(self._areas_small, norm, out=norm)
-            mnz = self._buf("mnz", (n,), dtype=bool)
-            np.less_equal(mass, 0.0, out=mnz)
-            np.copyto(norm, 0.0, where=mnz)
-            # One flattened bincount instead of Kx*Ky scatter passes.
-            np.clip(ix_all, 0, grid.nx - 1, out=ix_all)
-            np.clip(iy_all, 0, grid.ny - 1, out=iy_all)
-            ix_all *= grid.ny
-            flat = self._buf("flat", (n, kx, ky), dtype=np.int64)
-            np.add(ix_all[:, :, None], iy_all[:, None, :], out=flat)
-            t2 = self._buf("t2", (n, kx))
-            np.multiply(norm[:, None], px, out=t2)
-            contrib = self._buf("contrib", (n, kx, ky))
-            np.multiply(t2[:, :, None], py[:, None, :], out=contrib)
+            flat, px, dpx, py, dpy, norm, contrib = self._small_window(cx, cy)
             phi = np.bincount(
                 flat.reshape(-1), weights=contrib.reshape(-1),
                 minlength=grid.nx * grid.ny,
             ).reshape(grid.nx, grid.ny)
-            small_tables = (idx, flat, px, dpx, py, dpy, norm)
+            small_tables = (self._small, flat, px, dpx, py, dpy, norm)
         if phi is None:
             phi = grid.zeros()
         return phi, small_tables, self._large_batch(phi, cx, cy)
@@ -585,6 +600,55 @@ class BellDensity:
         _, psi, small_tables, large_tables = self._probe
         return self._grad_from_tables(psi, small_tables, large_tables)
 
+    def _small_grad(self, psi, small_tables):
+        """Per-node small gradient rows ``(t1x, t1y)`` from window tables.
+
+        Row-independent like :meth:`_small_window`, so chunk instances
+        (``repro.parallel.gp``) produce bit-identical rows; the caller
+        scatters them into the full gradient vectors.
+        """
+        _idx, flat, px, dpx, py, dpy, norm = small_tables
+        n, kx, ky = flat.shape
+        field = self._buf("field", (n, kx, ky))
+        np.take(psi.reshape(-1), flat, out=field)   # one gather
+        fy = self._buf("fy", (n, kx, ky))
+        np.multiply(field, py[:, None, :], out=fy)
+        t3 = self._buf("t3", (n, kx, ky))
+        gx = self._buf("gx", (n,))
+        gy = self._buf("gy", (n,))
+        gpp = self._buf("gpp", (n,))
+        np.multiply(fy, dpx[:, :, None], out=t3)
+        t3.sum(axis=(1, 2), out=gx)
+        np.multiply(fy, px[:, :, None], out=t3)
+        t3.sum(axis=(1, 2), out=gpp)
+        np.multiply(field, px[:, :, None], out=t3)
+        t3 *= dpy[:, None, :]
+        t3.sum(axis=(1, 2), out=gy)
+        sum_px = self._buf("g_sum_px", (n,))
+        sum_py = self._buf("g_sum_py", (n,))
+        px.sum(axis=1, out=sum_px)
+        np.maximum(sum_px, 1e-30, out=sum_px)
+        py.sum(axis=1, out=sum_py)
+        np.maximum(sum_py, 1e-30, out=sum_py)
+        sum_dpx = self._buf("sum_dpx", (n,))
+        sum_dpy = self._buf("sum_dpy", (n,))
+        dpx.sum(axis=1, out=sum_dpx)
+        dpy.sum(axis=1, out=sum_dpy)
+        # grad = 2*norm*(g - gpp*sum_dp/sum_p), assembled in buffers
+        n2 = self._buf("n2", (n,))
+        np.multiply(2.0, norm, out=n2)
+        t1x = self._buf("t1x", (n,))
+        np.multiply(gpp, sum_dpx, out=t1x)
+        t1x /= sum_px
+        np.subtract(gx, t1x, out=t1x)
+        t1x *= n2
+        t1y = self._buf("t1y", (n,))
+        np.multiply(gpp, sum_dpy, out=t1y)
+        t1y /= sum_py
+        np.subtract(gy, t1y, out=t1y)
+        t1y *= n2
+        return t1x, t1y
+
     def _grad_from_tables(self, psi, small_tables, large_tables):
         grad_x = np.zeros(self.num_nodes)
         grad_y = np.zeros(self.num_nodes)
@@ -592,47 +656,10 @@ class BellDensity:
         # the bin grid, so the normalization N = area / (Sx * Sy) is itself
         # position dependent; including dN makes the gradient exact.
         if small_tables is not None:
-            idx, flat, px, dpx, py, dpy, norm = small_tables
-            n, kx, ky = flat.shape
-            field = self._buf("field", (n, kx, ky))
-            np.take(psi.reshape(-1), flat, out=field)   # one gather
-            fy = self._buf("fy", (n, kx, ky))
-            np.multiply(field, py[:, None, :], out=fy)
-            t3 = self._buf("t3", (n, kx, ky))
-            gx = self._buf("gx", (n,))
-            gy = self._buf("gy", (n,))
-            gpp = self._buf("gpp", (n,))
-            np.multiply(fy, dpx[:, :, None], out=t3)
-            t3.sum(axis=(1, 2), out=gx)
-            np.multiply(fy, px[:, :, None], out=t3)
-            t3.sum(axis=(1, 2), out=gpp)
-            np.multiply(field, px[:, :, None], out=t3)
-            t3 *= dpy[:, None, :]
-            t3.sum(axis=(1, 2), out=gy)
-            sum_px = self._buf("g_sum_px", (n,))
-            sum_py = self._buf("g_sum_py", (n,))
-            px.sum(axis=1, out=sum_px)
-            np.maximum(sum_px, 1e-30, out=sum_px)
-            py.sum(axis=1, out=sum_py)
-            np.maximum(sum_py, 1e-30, out=sum_py)
-            sum_dpx = self._buf("sum_dpx", (n,))
-            sum_dpy = self._buf("sum_dpy", (n,))
-            dpx.sum(axis=1, out=sum_dpx)
-            dpy.sum(axis=1, out=sum_dpy)
-            # grad = 2*norm*(g - gpp*sum_dp/sum_p), assembled in buffers
-            n2 = self._buf("n2", (n,))
-            np.multiply(2.0, norm, out=n2)
-            t1 = self._buf("t1", (n,))
-            np.multiply(gpp, sum_dpx, out=t1)
-            t1 /= sum_px
-            np.subtract(gx, t1, out=t1)
-            t1 *= n2
-            grad_x[idx] = t1
-            np.multiply(gpp, sum_dpy, out=t1)
-            t1 /= sum_py
-            np.subtract(gy, t1, out=t1)
-            t1 *= n2
-            grad_y[idx] = t1
+            idx = small_tables[0]
+            t1x, t1y = self._small_grad(psi, small_tables)
+            grad_x[idx] = t1x
+            grad_y[idx] = t1y
         # Kernel sums were already taken in the potential pass; ``@`` is
         # left-associative, so sharing ``px @ field`` between the gpp and
         # grad_y contractions reproduces the original products exactly.

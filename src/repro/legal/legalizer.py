@@ -12,6 +12,7 @@ from repro.legal.macro_legal import legalize_macros
 from repro.legal.subrows import SubRowMap
 from repro.legal.tetris import tetris_legalize
 from repro.obs import get_tracer
+from repro.parallel import resolve_workers
 
 
 @dataclass
@@ -30,6 +31,11 @@ class LegalConfig:
     # paths.  Results are bit-identical either way — CI and the
     # equivalence tests assert it.
     reference: bool = False
+    # Worker processes for the row-parallel Abacus refinement and the
+    # fence-domain-parallel Tetris assignment (repro.parallel.legal).
+    # 1 = serial (REPRO_WORKERS env can override), 0 = one per CPU; the
+    # parallel paths are bit-identical to serial by construction.
+    workers: int = 1
 
 
 @dataclass
@@ -59,6 +65,7 @@ class Legalizer:
         row_probe: int | None = None,
         tetris_only: bool | None = None,
         reference: bool | None = None,
+        workers: int | None = None,
     ):
         cfg = config or LegalConfig()
         # Keyword overrides keep the historical constructor working.
@@ -70,11 +77,14 @@ class Legalizer:
             cfg = replace(cfg, tetris_only=tetris_only)
         if reference is not None:
             cfg = replace(cfg, reference=reference)
+        if workers is not None:
+            cfg = replace(cfg, workers=workers)
         self.config = cfg
         self.macro_channel = cfg.macro_channel
         self.row_probe = cfg.row_probe
         self.tetris_only = cfg.tetris_only
         self.reference = cfg.reference
+        self.workers = cfg.workers
 
     def legalize(self, design: Design) -> LegalizeResult:
         tracer = get_tracer()
@@ -84,19 +94,34 @@ class Legalizer:
         }
         with tracer.span("macro_legal"):
             macros_moved = legalize_macros(design, channel=self.macro_channel)
-        with tracer.span("tetris"):
-            submap = SubRowMap(design)
-            tetris_legalize(
-                design, submap, row_probe=self.row_probe, reference=self.reference
-            )
-        if not self.tetris_only:
-            with tracer.span("abacus"):
-                abacus_refine(
+        pool = None
+        workers = 1 if self.reference else resolve_workers(self.workers)
+        try:
+            with tracer.span("tetris"):
+                submap = SubRowMap(design)
+                if workers > 1 and len(submap.subrows) >= 2 * workers:
+                    from repro.parallel import WorkerPool
+
+                    pool = WorkerPool(workers, label="legal")
+                tetris_legalize(
                     design,
                     submap,
-                    {i: xy[0] for i, xy in desired.items()},
+                    row_probe=self.row_probe,
                     reference=self.reference,
+                    pool=pool,
                 )
+            if not self.tetris_only:
+                with tracer.span("abacus"):
+                    abacus_refine(
+                        design,
+                        submap,
+                        {i: xy[0] for i, xy in desired.items()},
+                        reference=self.reference,
+                        pool=pool,
+                    )
+        finally:
+            if pool is not None:
+                pool.close()
         total = 0.0
         worst = 0.0
         for node in design.nodes:

@@ -1,0 +1,170 @@
+"""Shared-memory multi-core execution inside one placement run.
+
+The package supplies one mechanism reused by three stages:
+
+* :class:`~repro.parallel.pool.WorkerPool` — a handful of long-lived
+  worker *processes* (one fork/spawn per stage, not per task) connected
+  by duplex pipes.  Tasks are module-level functions addressed as
+  ``"module:function"`` strings; replies are gathered **in worker
+  order**, so reductions performed by the parent are deterministic.
+* :class:`~repro.parallel.shm.SharedArrays` — named
+  ``multiprocessing.shared_memory`` segments wrapping the stages'
+  preallocated NumPy buffers.  The parent writes inputs (positions, the
+  density field, router cost lines) once per evaluation; workers slice
+  their shard zero-copy and write results into disjoint output rows.
+
+Consumers:
+
+* ``repro.parallel.gp`` — bell-density window sweeps and WA/LSE
+  wirelength value/gradient, sharded by node/net chunk
+  (:class:`~repro.gp.placer.GlobalPlacer` engages it via
+  ``GPConfig.workers``).
+* ``repro.parallel.legal`` — Abacus row refinement (row-parallel) and
+  Tetris assignment (fence-domain-parallel), via ``LegalConfig.workers``.
+* ``repro.parallel.route`` — rip-up/reroute candidate searches over
+  conflict-free offender batches, via ``GlobalRouter(workers=)``.
+
+Determinism contract (gated by ``tests/test_parallel_equiv.py``):
+
+* ``workers=1`` never constructs a pool — the serial hot paths run
+  unchanged and stay bit-identical to the pre-parallel code.
+* ``deterministic=True`` (default): workers only compute per-row
+  results into row-ordered shared slabs; every floating-point
+  *reduction* happens in the parent over the same operands in the same
+  order as the serial code.  Placements are bit-identical for **any**
+  worker count.
+* ``deterministic=False`` ("fast" mode): workers reduce their own
+  shard and the parent folds per-worker partials in fixed worker
+  order.  Results are reproducible for a fixed worker count but may
+  differ across worker counts by float-summation-order ulps.  Only the
+  GP value/gradient reductions are affected; the legalization and
+  routing parallel paths are exact by construction.
+"""
+
+from __future__ import annotations
+
+import os
+
+from .pool import RemoteTaskError, WorkerPool, drain_worker_cpu
+from .shm import SharedArrays, attach_arrays
+
+__all__ = [
+    "RemoteTaskError",
+    "SharedArrays",
+    "WorkerPool",
+    "attach_arrays",
+    "chunk_ranges",
+    "drain_worker_cpu",
+    "logical_cores",
+    "net_chunk_ranges",
+    "physical_cores",
+    "resolve_workers",
+]
+
+
+def logical_cores() -> int:
+    """Logical CPUs available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def physical_cores() -> int:
+    """Physical core count from ``/proc/cpuinfo`` (logical count fallback).
+
+    Counts unique ``(physical id, core id)`` pairs so SMT siblings
+    collapse; on hosts without /proc the logical count is returned.
+    """
+    try:
+        pairs = set()
+        phys = core = None
+        with open("/proc/cpuinfo", encoding="utf-8") as fh:
+            for line in fh:
+                if line.startswith("physical id"):
+                    phys = line.split(":", 1)[1].strip()
+                elif line.startswith("core id"):
+                    core = line.split(":", 1)[1].strip()
+                elif not line.strip():
+                    if phys is not None and core is not None:
+                        pairs.add((phys, core))
+                    phys = core = None
+        if phys is not None and core is not None:
+            pairs.add((phys, core))
+        if pairs:
+            return len(pairs)
+    except OSError:
+        pass
+    return logical_cores()
+
+
+def resolve_workers(value: int) -> int:
+    """Effective worker count for a config knob.
+
+    ``value <= 0`` means "auto" (one worker per available logical CPU).
+    ``value == 1`` — the untouched default — additionally consults the
+    ``REPRO_WORKERS`` environment variable so whole test/CI matrices can
+    opt in without threading a flag through every construction site.
+    Explicit ``value > 1`` wins over the environment.
+    """
+    if value <= 0:
+        return max(1, logical_cores())
+    if value == 1:
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if env:
+            try:
+                parsed = int(env)
+            except ValueError:
+                return 1
+            if parsed <= 0:
+                return max(1, logical_cores())
+            return parsed
+    return int(value)
+
+
+def chunk_ranges(n: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into at most ``parts`` contiguous non-empty chunks."""
+    parts = max(1, min(parts, n))
+    if n <= 0:
+        return []
+    base, extra = divmod(n, parts)
+    out = []
+    lo = 0
+    for p in range(parts):
+        hi = lo + base + (1 if p < extra else 0)
+        out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def net_chunk_ranges(cstarts, parts: int) -> list[tuple[int, int]]:
+    """Net-boundary-aligned chunks of a compacted pin array.
+
+    ``cstarts`` is the CSR-style offset array (length num_nets+1) of the
+    active-net compaction; each returned ``(n0, n1)`` is a contiguous
+    net range whose pins ``cstarts[n0]:cstarts[n1]`` form the shard.
+    Chunks are balanced by pin count, never split a net, and are all
+    non-empty.
+    """
+    num_nets = len(cstarts) - 1
+    if num_nets <= 0:
+        return []
+    parts = max(1, min(parts, num_nets))
+    total = int(cstarts[-1])
+    out = []
+    n0 = 0
+    for p in range(parts):
+        if n0 >= num_nets:
+            break
+        if p == parts - 1:
+            n1 = num_nets
+        else:
+            target = int(cstarts[n0]) + max(
+                1, (total - int(cstarts[n0])) // (parts - p)
+            )
+            n1 = n0 + 1
+            while n1 < num_nets and int(cstarts[n1]) < target:
+                n1 += 1
+        out.append((n0, n1))
+        n0 = n1
+    return out

@@ -1,0 +1,45 @@
+"""Tiny task functions exercised by the pool/shm lifecycle tests."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .shm import attach_arrays
+
+
+def echo(state, payload):
+    return (state["worker_id"], payload)
+
+
+def attach(state, payload):
+    arrays, segments = attach_arrays(
+        payload["specs"], unregister=payload.get("unregister", False)
+    )
+    state["arrays"] = arrays
+    state.setdefault("_segments", []).extend(segments)
+    return sorted(arrays)
+
+
+def fill_row(state, payload):
+    row = payload["row"]
+    arr = state["arrays"][payload["name"]]
+    arr[row, :] = np.arange(arr.shape[1]) + row
+    return float(arr[row].sum())
+
+
+def boom(state, payload):
+    raise payload.get("kind", RuntimeError)(payload.get("message", "boom"))
+
+
+def burn(state, payload):
+    """Consume a measurable amount of CPU (worker-CPU accounting tests)."""
+    acc = 0.0
+    for i in range(int(payload.get("n", 200_000))):
+        acc += i * 0.5
+    return acc
+
+
+def pid(state, payload):
+    return os.getpid()

@@ -1,0 +1,530 @@
+"""Shared-memory parallel GP density and wirelength evaluation.
+
+The placer's two hot kernels shard cleanly:
+
+* **Bell density** — every small-node window row is independent
+  (:meth:`~repro.density.bell.BellDensity._small_window` /
+  ``_small_grad``).  Each worker owns a contiguous chunk of the small
+  nodes and a :class:`~repro.density.bell.BellDensity` *chunk clone*
+  whose per-node coefficient tables are the parent's rows sliced to the
+  chunk, so the worker computes exactly the rows the serial sweep would.
+* **WA/LSE wirelength** — pins shard on net boundaries; a chunk clone of
+  the model carries net-localized ``pin_net``/``cstarts`` so the
+  ``reduceat`` reductions reproduce the serial per-net values bitwise.
+
+Deterministic mode (default): workers write per-row results
+(window contributions, per-net axis values, per-pin gradients) into
+row-ordered shared slabs and the parent performs the *same* final
+reductions as the serial code — one flattened ``np.bincount`` for the
+field, one ``np.sum(weights * (vx + vy))`` for the value, one
+``wpin``-weighted ``np.bincount`` per gradient axis — over operand
+arrays whose contents are bit-equal to the serial buffers.  Placements
+are therefore bit-identical to ``workers=1`` for any worker count.
+
+Fast mode (``deterministic=False``): workers additionally reduce their
+own shard (partial field bincount, partial value sum, partial node-
+gradient bincount) and the parent folds the per-worker partials in
+worker order — one large reduction less per evaluation, reproducible
+per worker count but not across worker counts.
+
+The large-node (macro) path and the fence/guard logic stay in the
+parent: macros are few and their batched path is already cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .pool import WorkerPool
+from .shm import SharedArrays, attach_arrays
+
+_SETUP = "repro.parallel.gp:gp_setup"
+_DENS_PROBE = "repro.parallel.gp:density_probe"
+_DENS_GRAD = "repro.parallel.gp:density_grad"
+_DENS_AREAS = "repro.parallel.gp:density_set_areas"
+_WL_PROBE = "repro.parallel.gp:wl_probe"
+_WL_GRAD = "repro.parallel.gp:wl_grad"
+_WL_REBIND = "repro.parallel.gp:wl_rebind"
+
+
+# ----------------------------------------------------------------------
+# worker-side task functions
+# ----------------------------------------------------------------------
+def _build_density_chunk(p):
+    """A BellDensity clone evaluating only one chunk of the small nodes."""
+    from repro.density.bell import BellDensity
+
+    d = BellDensity.__new__(BellDensity)
+    d.grid = p["grid"]
+    d.reference = False
+    d.num_nodes = p["num_nodes"]
+    d.areas = p["areas"]
+    d._small = p["small"]
+    d._kx = p["kx"]
+    d._ky = p["ky"]
+    for key in ("_sm_rx", "_sm_ry", "_sm_r1", "_sm_r2",
+                "_sm_a", "_sm_b", "_sm_m2a", "_sm_b2"):
+        setattr(d, key, p[key])
+    d._lg_idx = np.empty(0, dtype=np.int64)
+    d._large = d._lg_idx
+    d._bufs = {}
+    d._aranges = {}
+    d._areas_small = None
+    d._target_cache = None
+    d._probe = None
+    return d
+
+
+def _build_wl_chunk(p):
+    """A wirelength-model clone evaluating only one chunk of the nets."""
+    from repro.wirelength.smooth import LogSumExp, WeightedAverage
+
+    cls = WeightedAverage if p["kind"] == "wa" else LogSumExp
+    m = cls.__new__(cls)
+    m.num_nodes = p["num_nodes"]
+    m.gamma = p["gamma"]
+    m.reference = False
+    m._starts = p["starts"]
+    m._weights = p["weights"]
+    m._pin_net = p["pin_net"]
+    m._cstarts = p["cstarts"]
+    m._pin_node = p["pin_node"]
+    m._pin_dx = p["pin_dx"]
+    m._pin_dy = p["pin_dy"]
+    m._wpin = p["wpin"]
+    m._bufs = {}
+    m._probe = None
+    return m
+
+
+def gp_setup(state, payload):
+    arrays, segments = attach_arrays(
+        payload["specs"], unregister=payload["unregister"]
+    )
+    state["arrays"] = arrays
+    state.setdefault("_segments", []).extend(segments)
+    state["det"] = payload["deterministic"]
+    state["grid_shape"] = payload["grid_shape"]
+    dp = payload["density"]
+    state["density"] = _build_density_chunk(dp) if dp is not None else None
+    state["dens_range"] = dp["slab_range"] if dp is not None else None
+    wp = payload["wl"]
+    state["wl"] = _build_wl_chunk(wp) if wp is not None else None
+    state["wl_ranges"] = (wp["net_range"], wp["pin_range"]) if wp else None
+    return True
+
+
+def density_probe(state, payload):
+    d = state["density"]
+    shm = state["arrays"]
+    lo, hi = state["dens_range"]
+    flat, px, dpx, py, dpy, norm, contrib = d._small_window(shm["cx"], shm["cy"])
+    state["dens_tables"] = (d._small, flat, px, dpx, py, dpy, norm)
+    if state["det"]:
+        shm["dens_flat"][lo:hi] = flat
+        shm["dens_contrib"][lo:hi] = contrib
+    else:
+        nx, ny = state["grid_shape"]
+        shm["dens_phi"][state["worker_id"]] = np.bincount(
+            flat.reshape(-1), weights=contrib.reshape(-1), minlength=nx * ny
+        )
+    return True
+
+
+def density_grad(state, payload):
+    d = state["density"]
+    shm = state["arrays"]
+    lo, hi = state["dens_range"]
+    t1x, t1y = d._small_grad(shm["psi"], state["dens_tables"])
+    shm["dens_gx"][lo:hi] = t1x
+    shm["dens_gy"][lo:hi] = t1y
+    return True
+
+
+def density_set_areas(state, payload):
+    d = state["density"]
+    if d is not None:
+        d.areas = payload["areas"]
+        d._areas_small = None
+    return True
+
+
+def wl_probe(state, payload):
+    m = state["wl"]
+    m.gamma = payload["gamma"]
+    shm = state["arrays"]
+    (n0, n1), _ = state["wl_ranges"]
+    n = len(m._pin_node)
+    px = m._buf("px", (n,))
+    py = m._buf("py", (n,))
+    np.take(shm["cx"], m._pin_node, out=px)
+    px += m._pin_dx
+    np.take(shm["cy"], m._pin_node, out=py)
+    py += m._pin_dy
+    vx, st_x = m._axis_value_fast(px, "x")
+    vy, st_y = m._axis_value_fast(py, "y")
+    state["wl_state"] = (st_x, st_y)
+    if state["det"]:
+        shm["wl_vx"][n0:n1] = vx
+        shm["wl_vy"][n0:n1] = vy
+        return True
+    return float(np.sum(m._weights * (vx + vy)))
+
+
+def wl_grad(state, payload):
+    m = state["wl"]
+    shm = state["arrays"]
+    _, (p0, p1) = state["wl_ranges"]
+    st_x, st_y = state["wl_state"]
+    gx = m._axis_grad_fast(st_x, "x")
+    gy = m._axis_grad_fast(st_y, "y")
+    if state["det"]:
+        shm["wl_gx"][p0:p1] = gx
+        shm["wl_gy"][p0:p1] = gy
+        return True
+    w = state["worker_id"]
+    n = len(m._pin_node)
+    scatter = m._buf("scatter", (n,))
+    np.multiply(m._wpin, gx, out=scatter)
+    shm["wl_nodeg"][w, 0] = np.bincount(
+        m._pin_node, weights=scatter, minlength=m.num_nodes
+    )
+    np.multiply(m._wpin, gy, out=scatter)
+    shm["wl_nodeg"][w, 1] = np.bincount(
+        m._pin_node, weights=scatter, minlength=m.num_nodes
+    )
+    return True
+
+
+def wl_rebind(state, payload):
+    m = state["wl"]
+    if m is not None:
+        m._pin_node = payload["pin_node"]
+        m._pin_dx = payload["pin_dx"]
+        m._pin_dy = payload["pin_dy"]
+    return True
+
+
+# ----------------------------------------------------------------------
+# parent-side wrappers
+# ----------------------------------------------------------------------
+class ParallelDensity:
+    """Drop-in BellDensity facade fanning small-node sweeps to workers."""
+
+    def __init__(self, inner, ctx):
+        self._inner = inner
+        self._ctx = ctx
+        self._probe_state = None
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def set_areas(self, areas) -> None:
+        self._inner.set_areas(areas)
+        self._ctx.pool.broadcast(_DENS_AREAS, {"areas": np.asarray(areas, float)})
+
+    def value_probe(self, cx, cy) -> float:
+        ctx = self._ctx
+        inner = self._inner
+        grid = inner.grid
+        np.copyto(ctx.shm["cx"], cx)
+        np.copyto(ctx.shm["cy"], cy)
+        ctx.pool.run(_DENS_PROBE, ctx.dens_payloads)
+        if ctx.deterministic:
+            phi = np.bincount(
+                ctx.shm["dens_flat"].reshape(-1),
+                weights=ctx.shm["dens_contrib"].reshape(-1),
+                minlength=grid.nx * grid.ny,
+            ).reshape(grid.nx, grid.ny)
+        else:
+            acc = np.zeros(grid.nx * grid.ny)
+            for w in ctx.dens_workers:
+                acc += ctx.shm["dens_phi"][w]
+            phi = acc.reshape(grid.nx, grid.ny)
+        large_tables = inner._large_batch(phi, cx, cy)
+        psi = phi - inner.target()
+        self._probe_state = (psi, large_tables)
+        return float(np.sum(psi * psi))
+
+    def finish_grad(self):
+        ctx = self._ctx
+        inner = self._inner
+        psi, large_tables = self._probe_state
+        np.copyto(ctx.shm["psi"], psi)
+        ctx.pool.run(_DENS_GRAD, ctx.task_payloads(ctx.dens_workers))
+        grad_x, grad_y = inner._grad_from_tables(psi, None, large_tables)
+        grad_x[inner._small] = ctx.shm["dens_gx"]
+        grad_y[inner._small] = ctx.shm["dens_gy"]
+        return grad_x, grad_y
+
+    def value_grad(self, cx, cy):
+        value = self.value_probe(cx, cy)
+        grad_x, grad_y = self.finish_grad()
+        return value, grad_x, grad_y
+
+    def value(self, cx, cy) -> float:
+        return self._inner.value(cx, cy)
+
+
+class ParallelWirelength:
+    """Drop-in SmoothWirelength facade fanning net chunks to workers."""
+
+    def __init__(self, inner, ctx):
+        self._inner = inner
+        self._ctx = ctx
+        self._disabled = False
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    @property
+    def gamma(self) -> float:
+        return self._inner.gamma
+
+    @gamma.setter
+    def gamma(self, value: float) -> None:
+        self._inner.gamma = float(value)
+
+    def rebind(self, arrays):
+        inner = self._inner
+        old_ptr = inner.arrays.net_ptr
+        inner.rebind(arrays)
+        same = arrays.net_ptr is old_ptr or np.array_equal(arrays.net_ptr, old_ptr)
+        if not same:
+            # Topology changed: chunk boundaries and slab sizes no longer
+            # line up, so quietly fall back to the serial model.  Never
+            # hit by the placer (orientation passes keep the netlist).
+            self._disabled = True
+            return self
+        ctx = self._ctx
+        payloads = []
+        for rng in ctx.wl_chunks:
+            if rng is None:
+                payloads.append(None)
+                continue
+            _n, (p0, p1) = rng
+            payloads.append(
+                {
+                    "pin_node": inner._pin_node[p0:p1],
+                    "pin_dx": inner._pin_dx[p0:p1],
+                    "pin_dy": inner._pin_dy[p0:p1],
+                }
+            )
+        ctx.pool.run(_WL_REBIND, payloads)
+        return self
+
+    def value_probe(self, cx, cy) -> float:
+        inner = self._inner
+        if self._disabled or len(inner._starts) == 0:
+            return inner.value_probe(cx, cy)
+        ctx = self._ctx
+        np.copyto(ctx.shm["cx"], cx)
+        np.copyto(ctx.shm["cy"], cy)
+        payload = {"gamma": inner.gamma}
+        results = ctx.pool.run(
+            _WL_PROBE, ctx.task_payloads(ctx.wl_workers, payload)
+        )
+        inner._probe = None  # parent-side finish uses worker state instead
+        if ctx.deterministic:
+            return float(
+                np.sum(inner._weights * (ctx.shm["wl_vx"] + ctx.shm["wl_vy"]))
+            )
+        acc = 0.0
+        for w in ctx.wl_workers:
+            acc += results[w]
+        return acc
+
+    def finish_grad(self):
+        inner = self._inner
+        if self._disabled or len(inner._starts) == 0:
+            return inner.finish_grad()
+        ctx = self._ctx
+        ctx.pool.run(_WL_GRAD, ctx.task_payloads(ctx.wl_workers))
+        if ctx.deterministic:
+            n = len(inner._pin_node)
+            scatter = inner._buf("scatter", (n,))
+            np.multiply(inner._wpin, ctx.shm["wl_gx"], out=scatter)
+            grad_x = np.bincount(
+                inner._pin_node, weights=scatter, minlength=inner.num_nodes
+            )
+            np.multiply(inner._wpin, ctx.shm["wl_gy"], out=scatter)
+            grad_y = np.bincount(
+                inner._pin_node, weights=scatter, minlength=inner.num_nodes
+            )
+            return grad_x, grad_y
+        grad_x = np.zeros(inner.num_nodes)
+        grad_y = np.zeros(inner.num_nodes)
+        for w in ctx.wl_workers:
+            grad_x += ctx.shm["wl_nodeg"][w, 0]
+            grad_y += ctx.shm["wl_nodeg"][w, 1]
+        return grad_x, grad_y
+
+    def value_grad(self, cx, cy):
+        if self._disabled or len(self._inner._starts) == 0:
+            return self._inner.value_grad(cx, cy)
+        value = self.value_probe(cx, cy)
+        grad_x, grad_y = self.finish_grad()
+        return value, grad_x, grad_y
+
+    def value(self, cx, cy) -> float:
+        return self._inner.value(cx, cy)
+
+
+class ParallelGP:
+    """Pool + shared buffers backing one placer descent."""
+
+    def __init__(self, pool, shm, *, deterministic, dens_chunks, wl_chunks):
+        self.pool = pool
+        self.shm = shm
+        self.deterministic = deterministic
+        self.dens_chunks = dens_chunks  # per-worker (lo, hi) or None
+        self.wl_chunks = wl_chunks      # per-worker ((n0, n1), (p0, p1)) or None
+        self.dens_workers = [w for w, c in enumerate(dens_chunks) if c is not None]
+        self.wl_workers = [w for w, c in enumerate(wl_chunks) if c is not None]
+        self.density: ParallelDensity | None = None
+        self.wl_model: ParallelWirelength | None = None
+
+    def task_payloads(self, workers, payload=None):
+        out = [None] * self.pool.workers
+        for w in workers:
+            out[w] = payload if payload is not None else {}
+        return out
+
+    @property
+    def dens_payloads(self):
+        return self.task_payloads(self.dens_workers)
+
+    def close(self) -> None:
+        try:
+            self.pool.close()
+        finally:
+            self.shm.close()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, density, wl_model, *, workers: int, deterministic: bool,
+               kind: str, label: str = "gp"):
+        """Build the pool/buffers; ``None`` when sharding can't help.
+
+        ``density``/``wl_model`` are the placer's serial (optimized,
+        non-reference) instances; the returned context's ``.density`` /
+        ``.wl_model`` facades replace whichever of them sharded.
+        """
+        from . import chunk_ranges, net_chunk_ranges
+
+        n_small = len(density._small)
+        num_nets = len(wl_model._starts)
+        par_dens = n_small >= 2 * workers
+        par_wl = num_nets >= 2 * workers
+        if not par_dens and not par_wl:
+            return None
+
+        grid = density.grid
+        num_nodes = density.num_nodes
+        shm = SharedArrays()
+        pool = None
+        try:
+            shm.add("cx", (num_nodes,))
+            shm.add("cy", (num_nodes,))
+            shm.add("psi", (grid.nx, grid.ny))
+            dens_ranges = []
+            if par_dens:
+                dens_ranges = chunk_ranges(n_small, workers)
+                shm.add("dens_gx", (n_small,))
+                shm.add("dens_gy", (n_small,))
+                if deterministic:
+                    shm.add(
+                        "dens_flat", (n_small, density._kx, density._ky), np.int64
+                    )
+                    shm.add("dens_contrib", (n_small, density._kx, density._ky))
+                else:
+                    shm.add("dens_phi", (workers, grid.nx * grid.ny))
+            wl_ranges = []
+            num_pins = len(wl_model._pin_node)
+            # reduceat offsets lack the terminal sentinel; append it so
+            # chunking can slice pins by net range.
+            cst = np.concatenate(
+                [wl_model._cstarts, [num_pins]]
+            ).astype(np.int64)
+            if par_wl:
+                wl_ranges = net_chunk_ranges(cst, workers)
+                if deterministic:
+                    shm.add("wl_vx", (num_nets,))
+                    shm.add("wl_vy", (num_nets,))
+                    shm.add("wl_gx", (num_pins,))
+                    shm.add("wl_gy", (num_pins,))
+                else:
+                    shm.add("wl_nodeg", (workers, 2, num_nodes))
+
+            pool = WorkerPool(workers, label=label)
+            specs = shm.specs()
+            payloads = []
+            dens_chunks: list = [None] * workers
+            wl_chunks: list = [None] * workers
+            for w in range(workers):
+                dp = None
+                if w < len(dens_ranges):
+                    lo, hi = dens_ranges[w]
+                    dens_chunks[w] = (lo, hi)
+                    dp = {
+                        "grid": grid,
+                        "num_nodes": num_nodes,
+                        "areas": density.areas,
+                        "small": density._small[lo:hi],
+                        "kx": density._kx,
+                        "ky": density._ky,
+                        "slab_range": (lo, hi),
+                    }
+                    for key in ("_sm_rx", "_sm_ry", "_sm_r1", "_sm_r2",
+                                "_sm_a", "_sm_b", "_sm_m2a", "_sm_b2"):
+                        dp[key] = getattr(density, key)[lo:hi]
+                wp = None
+                if w < len(wl_ranges):
+                    n0, n1 = wl_ranges[w]
+                    p0, p1 = int(cst[n0]), int(cst[n1])
+                    wl_chunks[w] = ((n0, n1), (p0, p1))
+                    wp = {
+                        "kind": kind,
+                        "num_nodes": num_nodes,
+                        "gamma": wl_model.gamma,
+                        "starts": wl_model._starts[n0:n1],
+                        "weights": wl_model._weights[n0:n1],
+                        # Chunk-local net ids / reduceat offsets: the
+                        # chunk's first net becomes net 0, its first pin
+                        # offset 0, so per-net reductions see exactly
+                        # the serial operand slices.
+                        "pin_net": wl_model._pin_net[p0:p1] - n0,
+                        "cstarts": wl_model._cstarts[n0:n1] - int(cst[n0]),
+                        "pin_node": wl_model._pin_node[p0:p1],
+                        "pin_dx": wl_model._pin_dx[p0:p1],
+                        "pin_dy": wl_model._pin_dy[p0:p1],
+                        "wpin": wl_model._wpin[p0:p1],
+                        "net_range": (n0, n1),
+                        "pin_range": (p0, p1),
+                    }
+                payloads.append(
+                    {
+                        "specs": specs,
+                        "unregister": pool.attach_unregister,
+                        "deterministic": deterministic,
+                        "grid_shape": (grid.nx, grid.ny),
+                        "density": dp,
+                        "wl": wp,
+                    }
+                )
+            pool.run(_SETUP, payloads)
+        except BaseException:
+            if pool is not None:
+                pool.close()
+            shm.close()
+            raise
+
+        ctx = cls(
+            pool, shm,
+            deterministic=deterministic,
+            dens_chunks=dens_chunks,
+            wl_chunks=wl_chunks,
+        )
+        ctx.density = ParallelDensity(density, ctx) if par_dens else density
+        ctx.wl_model = ParallelWirelength(wl_model, ctx) if par_wl else wl_model
+        return ctx

@@ -1,0 +1,198 @@
+"""Row- and domain-parallel legalization over a :class:`WorkerPool`.
+
+Two independent units of work exist in the legalization stage:
+
+* **Abacus rows** — the cluster recurrence of each populated sub-row
+  depends only on that row's cells, so rows shard freely.  Workers map
+  :func:`repro.legal.abacus._refine_row` (the exact function the serial
+  loop calls) over contiguous row chunks; the parent applies results in
+  sub-row order and accumulates per-cell displacements in the same
+  sequence as the serial loop, so the placement *and* the returned
+  scalar are bit-identical.
+* **Tetris fence domains** — a cell only reads and writes the tails and
+  stranding budgets of its own fence domain's sub-rows, so the global
+  x-order loop decomposes into independent per-domain loops
+  (:func:`repro.legal.tetris._assign_domain`).  Stranding budgets are
+  computed once in the parent from the full cell population.  Designs
+  with fewer than two populated domains return ``None`` and the caller
+  runs the serial path.
+
+Payloads here are small (row targets, cell tuples) relative to the row
+recurrences they unlock, so tasks travel over the pool pipes instead of
+shared memory.
+"""
+
+from __future__ import annotations
+
+from repro.parallel import RemoteTaskError, chunk_ranges
+
+_ABACUS_TASK = "repro.parallel.legal:abacus_rows"
+_TETRIS_TASK = "repro.parallel.legal:tetris_domains"
+
+
+# --------------------------------------------------------------------------
+# Worker tasks
+
+
+def abacus_rows(state, payload):
+    """Refine a chunk of sub-rows; returns one ``(order, xs, disps)`` each."""
+    from repro.legal.abacus import _refine_row
+
+    return [
+        _refine_row(tgt, widths, x_min, x_max, site_width)
+        for tgt, widths, x_min, x_max, site_width in payload["rows"]
+    ]
+
+
+def tetris_domains(state, payload):
+    """Assign a chunk of fence domains; returns per-domain placements.
+
+    A ``RuntimeError`` (capacity exhaustion) propagates to the parent as
+    a :class:`RemoteTaskError` with ``kind == "RuntimeError"``; the
+    parent re-raises it as a plain ``RuntimeError`` so the caller's
+    pack-only retry engages unchanged.
+    """
+    from repro.legal.tetris import _assign_domain
+
+    row_probe = payload["row_probe"]
+    pack_only = payload["pack_only"]
+    return [
+        _assign_domain(
+            d["cells"],
+            d["ys"],
+            d["xmin"],
+            d["xmax"],
+            d["site"],
+            d["budgets"],
+            row_probe,
+            pack_only,
+        )
+        for d in payload["domains"]
+    ]
+
+
+# --------------------------------------------------------------------------
+# Parent orchestration
+
+
+def abacus_refine_parallel(design, submap, desired_x, pool) -> float:
+    """Shard :func:`repro.legal.abacus.abacus_refine` rows across workers."""
+    from repro.legal.abacus import _apply_row, _refine_row
+
+    rows = []
+    row_srs = []
+    for sr in submap.subrows:
+        if not sr.cells:
+            continue
+        nodes = [design.nodes[i] for i in sr.cells]
+        tgt = [
+            (desired_x.get(n.index, n.x) if desired_x else n.x) for n in nodes
+        ]
+        widths = [n.placed_width for n in nodes]
+        rows.append((tgt, widths, sr.x_min, sr.x_max, sr.site_width))
+        row_srs.append(sr)
+
+    if len(rows) < 2 * pool.workers:
+        refined = [_refine_row(*row) for row in rows]
+    else:
+        ranges = chunk_ranges(len(rows), pool.workers)
+        payloads: list = [None] * pool.workers
+        for w, (lo, hi) in enumerate(ranges):
+            payloads[w] = {"rows": rows[lo:hi]}
+        results = pool.run(_ABACUS_TASK, payloads)
+        refined = []
+        for w in range(len(ranges)):
+            refined.extend(results[w])
+
+    total_disp = 0.0
+    for sr, (order, xs_out, disps) in zip(row_srs, refined):
+        _apply_row(design, sr, order, xs_out)
+        for d in disps:
+            total_disp += d
+    return total_disp
+
+
+def tetris_assign_parallel(design, submap, row_probe, pack_only, pool):
+    """Shard Tetris assignment by fence domain; ``None`` if < 2 domains.
+
+    Nothing is written to the design until every worker has answered, so
+    a capacity-exhaustion failure leaves the placement untouched for the
+    caller's snapshot-restore + pack-only retry.
+    """
+    from repro.legal.tetris import _sorted_cells, _stranding_budgets
+
+    cells = _sorted_cells(design)
+    budgets_by_id = _stranding_budgets(submap, cells)
+
+    # Cells per region, preserving global x order within each region.
+    by_region: dict = {}
+    for n in cells:
+        by_region.setdefault(n.region, []).append(n)
+    regions = list(by_region)
+    if len(regions) < 2:
+        return None
+    if any(not submap.for_region(r) for r in regions):
+        # A populated region without sub-rows: let the serial loop raise
+        # its per-cell capacity error verbatim.
+        return None
+
+    domains = []
+    for region in regions:
+        dom = submap.for_region(region)
+        nodes = by_region[region]
+        domains.append(
+            {
+                "region": region,
+                "dom": dom,
+                "nodes": nodes,
+                "payload": {
+                    "cells": [
+                        (n.x, n.y, n.placed_width, n.name) for n in nodes
+                    ],
+                    "ys": [sr.y for sr in dom],
+                    "xmin": [sr.x_min for sr in dom],
+                    "xmax": [sr.x_max for sr in dom],
+                    "site": [sr.site_width for sr in dom],
+                    "budgets": [budgets_by_id[id(sr)] for sr in dom],
+                },
+            }
+        )
+    # Largest domains first, round-robin over workers, keeps shards even.
+    order = sorted(
+        range(len(domains)), key=lambda i: -len(domains[i]["nodes"])
+    )
+    shards: list = [[] for _ in range(pool.workers)]
+    for pos, i in enumerate(order):
+        shards[pos % pool.workers].append(i)
+
+    payloads: list = [None] * pool.workers
+    for w, idxs in enumerate(shards):
+        if idxs:
+            payloads[w] = {
+                "row_probe": row_probe,
+                "pack_only": pack_only,
+                "domains": [domains[i]["payload"] for i in idxs],
+            }
+    try:
+        results = pool.run(_TETRIS_TASK, payloads)
+    except RemoteTaskError as exc:
+        if exc.kind == "RuntimeError":
+            raise RuntimeError(str(exc)) from exc
+        raise
+
+    # Cells of unplaceable kinds never reach _sorted_cells, so every
+    # region with cells has a sub-row list here; apply per domain.  All
+    # cells landing in one sub-row come from one domain in x order, so
+    # sr.cells matches the serial interleaved loop exactly.
+    for w, idxs in enumerate(shards):
+        if not idxs:
+            continue
+        for d_pos, i in enumerate(idxs):
+            dom = domains[i]["dom"]
+            nodes = domains[i]["nodes"]
+            for node, (local_row, x) in zip(nodes, results[w][d_pos]):
+                sr = dom[local_row]
+                node.x = x
+                node.y = sr.y
+                sr.cells.append(node.index)
+    return submap

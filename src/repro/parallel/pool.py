@@ -1,0 +1,224 @@
+"""Long-lived worker processes with deterministic ordered gather.
+
+One :class:`WorkerPool` is created per parallel stage (GP descent,
+legalization, routing) and reused for every task round inside it, so
+process startup is paid once.  Tasks are module-level functions named
+``"package.module:function"`` called as ``fn(state, payload)`` — the
+``state`` dict persists inside the worker between tasks, which lets a
+setup task attach shared memory and build per-shard model clones that
+later tasks reuse.
+
+Replies are always collected **in worker order**, so any parent-side
+fold over per-worker results is deterministic for a fixed worker count.
+Per-task child CPU seconds ride back with every reply and accumulate in
+a module registry keyed by pool label; :func:`drain_worker_cpu` hands
+them to the sampling profiler as ``workers[*]`` rows (satellite: child
+CPU time is otherwise invisible to the parent's ``time.process_time``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing as mp
+import threading
+import time
+import traceback
+
+_EXIT = "__exit__"
+
+_cpu_lock = threading.Lock()
+_cpu_by_label: dict[str, float] = {}
+
+
+def _record_cpu(label: str, seconds: float) -> None:
+    if seconds <= 0:
+        return
+    with _cpu_lock:
+        _cpu_by_label[label] = _cpu_by_label.get(label, 0.0) + seconds
+
+
+def drain_worker_cpu() -> dict[str, float]:
+    """Worker CPU seconds accumulated per pool label since the last drain."""
+    with _cpu_lock:
+        out = dict(_cpu_by_label)
+        _cpu_by_label.clear()
+    return out
+
+
+class RemoteTaskError(RuntimeError):
+    """A task raised inside a worker; carries the remote type and traceback."""
+
+    def __init__(self, kind: str, message: str, remote_traceback: str = ""):
+        super().__init__(f"worker task failed: {kind}: {message}")
+        self.kind = kind
+        self.remote_traceback = remote_traceback
+
+
+def _resolve_task(cache: dict, name: str):
+    fn = cache.get(name)
+    if fn is None:
+        module, _, attr = name.partition(":")
+        fn = getattr(importlib.import_module(module), attr)
+        cache[name] = fn
+    return fn
+
+
+def _worker_main(worker_id: int, conn) -> None:
+    state: dict = {"worker_id": worker_id}
+    cache: dict = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg[0] == _EXIT:
+            break
+        _, fn_name, payload = msg
+        cpu0 = time.process_time()
+        try:
+            result = _resolve_task(cache, fn_name)(state, payload)
+            reply = ("ok", result, time.process_time() - cpu0)
+        except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            reply = (
+                "err",
+                type(exc).__name__,
+                str(exc),
+                traceback.format_exc(),
+                time.process_time() - cpu0,
+            )
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    for seg in state.get("_segments", ()):
+        try:
+            seg.close()
+        except Exception:
+            pass
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class WorkerPool:
+    """A fixed set of worker processes addressed by index."""
+
+    def __init__(self, workers: int, *, label: str = "parallel"):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.label = label
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        try:
+            for w in range(workers):
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                proc = self._ctx.Process(
+                    target=_worker_main,
+                    args=(w, child_conn),
+                    name=f"repro-{label}-{w}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
+
+    @property
+    def start_method(self) -> str:
+        return self._ctx.get_start_method()
+
+    @property
+    def attach_unregister(self) -> bool:
+        """Value for :func:`repro.parallel.shm.attach_arrays` in workers.
+
+        Spawn-started workers own a private resource tracker and must
+        unregister attached segments; fork-started workers share the
+        parent's tracker and must not.
+        """
+        return self.start_method != "fork"
+
+    def _recv(self, worker_id: int):
+        try:
+            return self._conns[worker_id].recv()
+        except (EOFError, OSError) as exc:
+            raise RuntimeError(
+                f"{self.label} worker {worker_id} died mid-task"
+            ) from exc
+
+    def run(self, fn_name: str, payloads) -> list:
+        """Send one task per worker and gather replies in worker order.
+
+        ``payloads`` has one entry per worker; a ``None`` entry skips
+        that worker (its result slot is ``None``).  The first remote
+        failure is re-raised as :class:`RemoteTaskError` after all
+        outstanding replies are drained, so the pipes stay in sync.
+        """
+        if len(payloads) > self.workers:
+            raise ValueError(
+                f"{len(payloads)} payloads for {self.workers} workers"
+            )
+        active = []
+        for w, payload in enumerate(payloads):
+            if payload is None:
+                continue
+            self._conns[w].send(("task", fn_name, payload))
+            active.append(w)
+        results: list = [None] * len(payloads)
+        failure: RemoteTaskError | None = None
+        for w in active:
+            reply = self._recv(w)
+            if reply[0] == "ok":
+                results[w] = reply[1]
+                _record_cpu(self.label, reply[2])
+            else:
+                _record_cpu(self.label, reply[4])
+                if failure is None:
+                    failure = RemoteTaskError(reply[1], reply[2], reply[3])
+        if failure is not None:
+            raise failure
+        return results
+
+    def broadcast(self, fn_name: str, payload) -> list:
+        """Run the same task (same payload) on every worker."""
+        return self.run(fn_name, [payload] * self.workers)
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent, exception-safe)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send((_EXIT,))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._conns = []
+        self._procs = []
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,424 @@
+"""Net-parallel rip-up/re-route searches over a :class:`WorkerPool`.
+
+The serial negotiation loop in :meth:`GlobalRouter._reroute_offenders`
+rips one offender, refreshes the cost lines its route touched, searches
+(Z + optional maze) and commits — each offender sees every earlier
+commitment.  This module runs the *searches* in parallel without
+changing a single resulting route:
+
+* An offender's reads and writes are confined to the cost/prefix/usage
+  **lines** (east-edge rows, north-edge columns) inside its influence
+  rectangle — the bounding box of its endpoints and current route,
+  expanded by the maze window margin when mazing.  Offenders whose
+  rectangles are disjoint in *both* the x and the y projection touch no
+  common line, so their serial iterations are independent.
+* Batches are the maximal **prefix** of the serial offender order whose
+  rectangles are pairwise projection-disjoint.  Workers search their
+  offenders against a synced snapshot plus a local simulation of their
+  own rip; the parent then replays rip → commit in serial order.  A
+  batch of one skips the pool and runs the verbatim serial body.
+* The parent keeps the canonical ``cost/pe/pn`` arrays in shared
+  memory and refreshes dirtied lines before each batch; workers carry
+  private copies, re-syncing exactly the lines the parent refreshed
+  since their last task (tracked per worker).
+
+Because batch membership depends only on the offender order and their
+rectangles, results are bit-identical to the serial loop for **any**
+worker count — this path has no ``deterministic=False`` variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel import SharedArrays, attach_arrays, chunk_ranges
+from repro.route.maze import maze_route
+from repro.route.pattern import best_z_route, prefix_costs, runs_cost
+
+_SETUP = "repro.parallel.route:route_setup"
+_BEGIN = "repro.parallel.route:route_begin"
+_SEARCH = "repro.parallel.route:route_search"
+
+_HISTORY_WEIGHT = 1.0
+_OVERFLOW_PENALTY = 8.0
+
+
+# --------------------------------------------------------------------------
+# Worker tasks
+
+
+def route_setup(state, payload):
+    """Attach the router's shared arrays and build local cost copies."""
+    arrays, segments = attach_arrays(
+        payload["specs"], unregister=payload["unregister"]
+    )
+    state.setdefault("_segments", []).extend(segments)
+    state["r_shm"] = arrays
+    state["r_nx"] = payload["nx"]
+    state["r_ny"] = payload["ny"]
+    state["r_local"] = {
+        k: np.empty_like(arrays[k]) for k in ("cost_e", "cost_n", "pe", "pn")
+    }
+    state["r_safe_cap_e"] = np.maximum(arrays["cap_e"], 1e-12)
+    state["r_safe_cap_n"] = np.maximum(arrays["cap_n"], 1e-12)
+    state["r_blocked_e"] = np.where(arrays["cap_e"] <= 0, 1e6, 0.0)
+    state["r_blocked_n"] = np.where(arrays["cap_n"] <= 0, 1e6, 0.0)
+    return True
+
+
+def route_begin(state, payload):
+    """Full local sync at a ``_reroute_offenders`` entry."""
+    shm = state["r_shm"]
+    local = state["r_local"]
+    for k in ("cost_e", "cost_n", "pe", "pn"):
+        local[k][...] = shm[k]
+    return True
+
+
+def _local_rip_line_h(state, j, intervals):
+    """Recompute east row ``j`` with this offender's runs ripped."""
+    shm = state["r_shm"]
+    local = state["r_local"]
+    u = np.array(shm["use_e"][:, j])
+    for lo, hi in intervals:
+        if hi > lo:
+            u[lo:hi] -= 1.0
+    util = (u + 1.0) / state["r_safe_cap_e"][:, j]
+    over = np.maximum(util - 1.0, 0.0)
+    base = 1.0 + np.minimum(util, 1.0) ** 2
+    local["cost_e"][:, j] = (
+        base
+        + _HISTORY_WEIGHT * shm["history_e"][:, j]
+        + _OVERFLOW_PENALTY * over
+        + state["r_blocked_e"][:, j]
+    )
+    np.cumsum(local["cost_e"][:, j], out=local["pe"][1:, j])
+
+
+def _local_rip_line_v(state, i, intervals):
+    """Recompute north column ``i`` with this offender's runs ripped."""
+    shm = state["r_shm"]
+    local = state["r_local"]
+    u = np.array(shm["use_n"][i, :])
+    for lo, hi in intervals:
+        if hi > lo:
+            u[lo:hi] -= 1.0
+    util = (u + 1.0) / state["r_safe_cap_n"][i, :]
+    over = np.maximum(util - 1.0, 0.0)
+    base = 1.0 + np.minimum(util, 1.0) ** 2
+    local["cost_n"][i, :] = (
+        base
+        + _HISTORY_WEIGHT * shm["history_n"][i, :]
+        + _OVERFLOW_PENALTY * over
+        + state["r_blocked_n"][i, :]
+    )
+    np.cumsum(local["cost_n"][i, :], out=local["pn"][i, 1:])
+
+
+def route_search(state, payload):
+    """Search a chunk of a projection-disjoint offender batch.
+
+    Shared usage/history reflect the state before the batch's first rip
+    (earlier batch members touch none of this chunk's lines), so a local
+    rip of each offender's own route reproduces the exact post-rip costs
+    the serial loop would see.  Returns the chosen run list per
+    offender; the parent replays rip/commit in serial order.
+    """
+    shm = state["r_shm"]
+    local = state["r_local"]
+    for j in payload["sync_h"]:
+        local["cost_e"][:, j] = shm["cost_e"][:, j]
+        local["pe"][:, j] = shm["pe"][:, j]
+    for i in payload["sync_v"]:
+        local["cost_n"][i, :] = shm["cost_n"][i, :]
+        local["pn"][i, :] = shm["pn"][i, :]
+    use_maze = payload["use_maze"]
+    margin = payload["margin"]
+    nx = state["r_nx"]
+    ny = state["r_ny"]
+    results = []
+    for a, b, c, d, old_runs in payload["offenders"]:
+        old_runs = [tuple(r) for r in old_runs]
+        h_ivs: dict = {}
+        v_ivs: dict = {}
+        for kind, line, lo, hi in old_runs:
+            (h_ivs if kind == "H" else v_ivs).setdefault(line, []).append((lo, hi))
+        for j, ivs in h_ivs.items():
+            _local_rip_line_h(state, j, ivs)
+        for i, ivs in v_ivs.items():
+            _local_rip_line_v(state, i, ivs)
+        # The candidate search, verbatim from the serial loop.
+        z_cost, z_runs = best_z_route(local["pe"], local["pn"], a, b, c, d)
+        new_runs = z_runs
+        if use_maze:
+            window = (
+                max(0, min(a, c) - margin),
+                max(0, min(b, d) - margin),
+                min(nx - 1, max(a, c) + margin),
+                min(ny - 1, max(b, d) + margin),
+            )
+            m_cost, m_runs = maze_route(
+                local["cost_e"], local["cost_n"], (a, b), (c, d), window
+            )
+            if m_runs is not None and m_cost < z_cost:
+                new_runs = m_runs
+        if runs_cost(local["pe"], local["pn"], old_runs) < runs_cost(
+            local["pe"], local["pn"], new_runs
+        ):
+            new_runs = old_runs
+        results.append(new_runs)
+        # This offender's local lines are now post-rip-stale; the parent
+        # adds every replayed line to our pending sync list, so they are
+        # re-copied before our next task.
+    return results
+
+
+# --------------------------------------------------------------------------
+# Parent orchestration
+
+
+class ParallelRouter:
+    """Pool + shared canonical cost state for one :class:`GridGraph`."""
+
+    def __init__(self, pool, shm, graph):
+        self.pool = pool
+        self.shm = shm
+        self.graph = graph
+        # Lines refreshed in the canonical arrays since each worker's
+        # last task — what that worker must re-copy before computing.
+        self._pending = [(set(), set()) for _ in range(pool.workers)]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, graph, workers: int, *, label: str = "route"):
+        """Build the pool and swap the graph's state into shared memory.
+
+        Returns ``None`` on degenerate grids (any zero-size edge array).
+        The graph's ``use_*``/``history_*`` become shm-backed views, so
+        the ordinary in-place bookkeeping (``add_*_run``,
+        ``bump_history``) keeps the workers' view current for free.
+        """
+        if (
+            graph.use_e.size == 0
+            or graph.use_n.size == 0
+            or graph.cap_e.size == 0
+            or graph.cap_n.size == 0
+        ):
+            return None
+        from repro.parallel import WorkerPool
+
+        cost_e, cost_n = graph.cost_arrays()
+        pe, pn = prefix_costs(cost_e, cost_n)
+        shm = SharedArrays()
+        pool = None
+        try:
+            for name, src in (
+                ("use_e", graph.use_e),
+                ("use_n", graph.use_n),
+                ("history_e", graph.history_e),
+                ("history_n", graph.history_n),
+                ("cap_e", graph.cap_e),
+                ("cap_n", graph.cap_n),
+                ("cost_e", cost_e),
+                ("cost_n", cost_n),
+                ("pe", pe),
+                ("pn", pn),
+            ):
+                shm.add_from(name, src)
+            pool = WorkerPool(workers, label=label)
+            pool.broadcast(
+                _SETUP,
+                {
+                    "specs": shm.specs(),
+                    "unregister": pool.attach_unregister,
+                    "nx": graph.nx,
+                    "ny": graph.ny,
+                },
+            )
+        except BaseException:
+            if pool is not None:
+                pool.close()
+            shm.close()
+            raise
+        graph.use_e = shm["use_e"]
+        graph.use_n = shm["use_n"]
+        graph.history_e = shm["history_e"]
+        graph.history_n = shm["history_n"]
+        return cls(pool, shm, graph)
+
+    def close(self) -> None:
+        """Shut workers down and re-home the graph's state off shm."""
+        graph = self.graph
+        graph.use_e = np.array(graph.use_e)
+        graph.use_n = np.array(graph.use_n)
+        graph.history_e = np.array(graph.history_e)
+        graph.history_n = np.array(graph.history_n)
+        self.pool.close()
+        self.shm.close()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rect(a, b, c, d, runs, margin):
+        """Influence rectangle: endpoints bbox ∪ route bbox, ± margin."""
+        xlo, xhi = min(a, c), max(a, c)
+        ylo, yhi = min(b, d), max(b, d)
+        for kind, line, lo, hi in runs:
+            if kind == "H":
+                ylo = min(ylo, line)
+                yhi = max(yhi, line)
+                xlo = min(xlo, lo)
+                xhi = max(xhi, hi)
+            else:
+                xlo = min(xlo, line)
+                xhi = max(xhi, line)
+                ylo = min(ylo, lo)
+                yhi = max(yhi, hi)
+        return xlo - margin, xhi + margin, ylo - margin, yhi + margin
+
+    def reroute(
+        self, routes, i0, j0, i1, j1, offenders, *, use_maze: bool, margin: int
+    ) -> int:
+        """The parallel twin of the serial incremental rip-up loop."""
+        graph = self.graph
+        cost_e = self.shm["cost_e"]
+        cost_n = self.shm["cost_n"]
+        pe = self.shm["pe"]
+        pn = self.shm["pn"]
+        # Fresh canonical costs at entry, exactly like the serial loop.
+        ce, cn = graph.cost_arrays()
+        cost_e[...] = ce
+        cost_n[...] = cn
+        fpe, fpn = prefix_costs(ce, cn)
+        pe[...] = fpe
+        pn[...] = fpn
+        self.pool.broadcast(_BEGIN, {})
+        for ph, pv in self._pending:
+            ph.clear()
+            pv.clear()
+        dirty_h: set = set()
+        dirty_v: set = set()
+        rect_margin = margin if use_maze else 0
+        rects = [
+            self._rect(
+                int(i0[s]), int(j0[s]), int(i1[s]), int(j1[s]),
+                routes[s], rect_margin,
+            )
+            for s in offenders
+        ]
+        rerouted = 0
+        idx = 0
+        n = len(offenders)
+        while idx < n:
+            # Maximal prefix with pairwise projection-disjoint rects.
+            end = idx + 1
+            bx = [rects[idx][:2]]
+            by = [rects[idx][2:]]
+            while end < n:
+                xlo, xhi, ylo, yhi = rects[end]
+                if any(xlo <= x1 and x0 <= xhi for x0, x1 in bx) or any(
+                    ylo <= y1 and y0 <= yhi for y0, y1 in by
+                ):
+                    break
+                bx.append((xlo, xhi))
+                by.append((ylo, yhi))
+                end += 1
+            batch = offenders[idx:end]
+            idx = end
+            if len(batch) == 1:
+                self._serial_one(
+                    routes, batch[0], i0, j0, i1, j1,
+                    use_maze, margin, cost_e, cost_n, pe, pn,
+                    dirty_h, dirty_v,
+                )
+                rerouted += 1
+                continue
+            if dirty_h or dirty_v:
+                graph.refresh_cost_lines(cost_e, cost_n, pe, pn, dirty_h, dirty_v)
+                for ph, pv in self._pending:
+                    ph |= dirty_h
+                    pv |= dirty_v
+                dirty_h.clear()
+                dirty_v.clear()
+            ranges = chunk_ranges(len(batch), self.pool.workers)
+            payloads: list = [None] * self.pool.workers
+            for w, (lo, hi) in enumerate(ranges):
+                ph, pv = self._pending[w]
+                payloads[w] = {
+                    "sync_h": sorted(ph),
+                    "sync_v": sorted(pv),
+                    "use_maze": use_maze,
+                    "margin": margin,
+                    "offenders": [
+                        (int(i0[s]), int(j0[s]), int(i1[s]), int(j1[s]), routes[s])
+                        for s in batch[lo:hi]
+                    ],
+                }
+                ph.clear()
+                pv.clear()
+            results = self.pool.run(_SEARCH, payloads)
+            chosen = []
+            for w in range(len(ranges)):
+                chosen.extend(results[w])
+            # Replay rip → commit in the serial offender order.
+            for s, new_runs in zip(batch, chosen):
+                for kind, line, lo, hi in routes[s]:
+                    if kind == "H":
+                        graph.add_horizontal_run(line, lo, hi, -1.0)
+                        dirty_h.add(line)
+                    else:
+                        graph.add_vertical_run(line, lo, hi, -1.0)
+                        dirty_v.add(line)
+                new_runs = [tuple(r) for r in new_runs]
+                routes[s] = new_runs
+                for kind, line, lo, hi in new_runs:
+                    if kind == "H":
+                        graph.add_horizontal_run(line, lo, hi)
+                        dirty_h.add(line)
+                    else:
+                        graph.add_vertical_run(line, lo, hi)
+                        dirty_v.add(line)
+                rerouted += 1
+        return rerouted
+
+    def _serial_one(
+        self, routes, s, i0, j0, i1, j1, use_maze, margin,
+        cost_e, cost_n, pe, pn, dirty_h, dirty_v,
+    ) -> None:
+        """The verbatim serial loop body for a conflicting offender."""
+        graph = self.graph
+        for kind, line, lo, hi in routes[s]:
+            if kind == "H":
+                graph.add_horizontal_run(line, lo, hi, -1.0)
+                dirty_h.add(line)
+            else:
+                graph.add_vertical_run(line, lo, hi, -1.0)
+                dirty_v.add(line)
+        graph.refresh_cost_lines(cost_e, cost_n, pe, pn, dirty_h, dirty_v)
+        for ph, pv in self._pending:
+            ph |= dirty_h
+            pv |= dirty_v
+        dirty_h.clear()
+        dirty_v.clear()
+        a, b, c, d = int(i0[s]), int(j0[s]), int(i1[s]), int(j1[s])
+        z_cost, z_runs = best_z_route(pe, pn, a, b, c, d)
+        new_runs = z_runs
+        if use_maze:
+            window = (
+                max(0, min(a, c) - margin),
+                max(0, min(b, d) - margin),
+                min(graph.nx - 1, max(a, c) + margin),
+                min(graph.ny - 1, max(b, d) + margin),
+            )
+            m_cost, m_runs = maze_route(cost_e, cost_n, (a, b), (c, d), window)
+            if m_runs is not None and m_cost < z_cost:
+                new_runs = m_runs
+        if runs_cost(pe, pn, routes[s]) < runs_cost(pe, pn, new_runs):
+            new_runs = routes[s]
+        routes[s] = new_runs
+        for kind, line, lo, hi in new_runs:
+            if kind == "H":
+                graph.add_horizontal_run(line, lo, hi)
+                dirty_h.add(line)
+            else:
+                graph.add_vertical_run(line, lo, hi)
+                dirty_v.add(line)

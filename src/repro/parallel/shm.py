@@ -1,0 +1,120 @@
+"""Named shared-memory NumPy arrays with leak-free lifecycle.
+
+The parent creates segments (:class:`SharedArrays`), ships the
+name/shape/dtype specs to workers once, and workers attach read/write
+views (:func:`attach_arrays`).  Only the parent unlinks; workers merely
+close their mappings.  On Python < 3.13 an attaching process re-registers
+the segment with its resource tracker, which would then unlink it (and
+warn) when that process exits — the attach path unregisters to keep
+ownership solely with the creator.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+def _segment_name() -> str:
+    return f"repro_{os.getpid()}_{secrets.token_hex(4)}"
+
+
+class SharedArrays:
+    """A set of parent-owned named shared-memory NumPy arrays."""
+
+    def __init__(self):
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._specs: dict[str, tuple[str, tuple, str]] = {}
+        self.arrays: dict[str, np.ndarray] = {}
+        self._closed = False
+
+    def add(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        """Create a zero-filled shared array registered under ``name``."""
+        if name in self.arrays:
+            raise ValueError(f"shared array {name!r} already exists")
+        dt = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dt.itemsize)
+        seg = shared_memory.SharedMemory(create=True, size=nbytes, name=_segment_name())
+        arr = np.ndarray(shape, dtype=dt, buffer=seg.buf)
+        arr.fill(0)
+        self._segments[name] = seg
+        self._specs[name] = (seg.name, tuple(int(s) for s in shape), dt.str)
+        self.arrays[name] = arr
+        return arr
+
+    def add_from(self, name: str, source: np.ndarray) -> np.ndarray:
+        """Create a shared array holding a copy of ``source``."""
+        arr = self.add(name, source.shape, source.dtype)
+        np.copyto(arr, source)
+        return arr
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    def specs(self) -> dict[str, tuple[str, tuple, str]]:
+        """Picklable ``{name: (segment, shape, dtype)}`` for workers."""
+        return dict(self._specs)
+
+    def segment_names(self) -> list[str]:
+        return [seg.name for seg in self._segments.values()]
+
+    def close(self) -> None:
+        """Release and unlink every segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.arrays = {}
+        for seg in self._segments.values():
+            try:
+                seg.close()
+            except OSError:
+                pass
+            try:
+                seg.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+        self._segments = {}
+
+    def __del__(self):  # last-resort leak guard; explicit close is the API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def attach_arrays(
+    specs: dict, *, unregister: bool = False
+) -> tuple[dict[str, np.ndarray], list]:
+    """Worker-side attach: ``{name: array}`` plus segment handles to keep.
+
+    The returned segment list must stay referenced while the arrays are
+    in use (the mappings die with the handles).  Workers never unlink.
+
+    On Python < 3.13 attaching registers the segment with *this*
+    process's resource tracker.  ``unregister=True`` undoes that — the
+    right call for spawn-started workers, whose private tracker would
+    otherwise unlink the parent's live segment at worker exit.  Leave it
+    False for fork-started workers: they share the parent's tracker, the
+    re-registration is an idempotent set-add, and unregistering would
+    strip the parent's own entry.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    segments = []
+    for name, (seg_name, shape, dtype) in specs.items():
+        try:
+            seg = shared_memory.SharedMemory(name=seg_name, track=False)
+        except TypeError:  # track= is 3.13+
+            seg = shared_memory.SharedMemory(name=seg_name)
+            if unregister:
+                try:
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(seg._name, "shared_memory")
+                except Exception:
+                    pass
+        arrays[name] = np.ndarray(shape, dtype=np.dtype(dtype), buffer=seg.buf)
+        segments.append(seg)
+    return arrays, segments

@@ -1,0 +1,408 @@
+"""Parallel-execution gates: determinism, lifecycle, and accounting.
+
+The ``repro.parallel`` determinism contract (see the package docstring)
+is pinned here:
+
+* ``workers=1`` never builds a pool, so the serial hot paths run
+  unchanged (covered implicitly: every equivalence test below compares
+  against a ``workers=1`` run).
+* ``deterministic=True`` placements, legalizations, and routings are
+  bit-identical for **any** worker count.
+* Fast mode (``deterministic=False``) is reproducible for a fixed
+  worker count.
+
+Plus the lifecycle satellites: no shared-memory segment leaks (clean
+path and in-task-exception path alike), checkpoint/resume of a
+parallel-GP flow stays bit-identical to an uninterrupted serial run,
+and pool-worker CPU seconds surface as ``workers[*]`` profiler rows.
+"""
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_place import random_placement
+from repro.benchgen import BenchmarkSpec, make_benchmark
+from repro.db import Design, Node, Region, Row
+from repro.geometry import Rect
+from repro.gp import GlobalPlacer, GPConfig
+from repro.legal import LegalConfig, Legalizer
+from repro.obs import SamplingProfiler
+from repro.parallel import (
+    RemoteTaskError,
+    SharedArrays,
+    WorkerPool,
+    chunk_ranges,
+    drain_worker_cpu,
+    logical_cores,
+    net_chunk_ranges,
+    resolve_workers,
+)
+from repro.route import GlobalRouter
+
+ECHO = "repro.parallel._testing:echo"
+ATTACH = "repro.parallel._testing:attach"
+FILL_ROW = "repro.parallel._testing:fill_row"
+BOOM = "repro.parallel._testing:boom"
+BURN = "repro.parallel._testing:burn"
+
+
+def shm_segments() -> set:
+    """Names of live repro shared-memory segments (Linux /dev/shm)."""
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return set(glob.glob("/dev/shm/repro_*"))
+
+
+@pytest.fixture(autouse=True)
+def _no_env_workers(monkeypatch):
+    # A CI matrix leg exports REPRO_WORKERS=2, which resolve_workers
+    # folds into every workers=1 default; these tests compare explicit
+    # worker counts, so the ambient override must not leak in.
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+
+# ----------------------------------------------------------------------
+# primitives
+# ----------------------------------------------------------------------
+class TestPrimitives:
+    @pytest.mark.parametrize("n,parts", [(10, 3), (7, 7), (5, 9), (1, 4)])
+    def test_chunk_ranges_partition(self, n, parts):
+        ranges = chunk_ranges(n, parts)
+        assert len(ranges) == min(n, parts)
+        assert ranges[0][0] == 0 and ranges[-1][1] == n
+        for (lo, hi), (lo2, _) in zip(ranges, ranges[1:]):
+            assert hi == lo2
+        assert all(hi > lo for lo, hi in ranges)
+
+    def test_chunk_ranges_empty(self):
+        assert chunk_ranges(0, 4) == []
+
+    @pytest.mark.parametrize("parts", [1, 2, 3, 8])
+    def test_net_chunk_ranges_never_split_a_net(self, parts):
+        cstarts = np.array([0, 3, 5, 9, 10, 16], dtype=np.int64)
+        ranges = net_chunk_ranges(cstarts, parts)
+        assert ranges[0][0] == 0 and ranges[-1][1] == 5
+        for (n0, n1), (m0, _) in zip(ranges, ranges[1:]):
+            assert n1 == m0
+        assert all(n1 > n0 for n0, n1 in ranges)
+
+    def test_resolve_workers_explicit_and_auto(self, monkeypatch):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) == max(1, logical_cores())
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers(1) == 4  # default consults the env
+        assert resolve_workers(2) == 2  # explicit wins over the env
+        monkeypatch.setenv("REPRO_WORKERS", "junk")
+        assert resolve_workers(1) == 1
+
+
+# ----------------------------------------------------------------------
+# pool / shared-memory lifecycle
+# ----------------------------------------------------------------------
+class TestPoolLifecycle:
+    def test_echo_gathers_in_worker_order(self):
+        with WorkerPool(3, label="t-echo") as pool:
+            out = pool.run(ECHO, ["a", "b", "c"])
+        assert out == [(0, "a"), (1, "b"), (2, "c")]
+
+    def test_none_payload_skips_worker(self):
+        with WorkerPool(2, label="t-skip") as pool:
+            out = pool.run(ECHO, [None, "x"])
+        assert out == [None, (1, "x")]
+
+    def test_task_exception_survives_and_pool_stays_usable(self):
+        with WorkerPool(2, label="t-boom") as pool:
+            with pytest.raises(RemoteTaskError) as exc_info:
+                pool.run(BOOM, [{"message": "kaput"}, "ok"])
+            assert exc_info.value.kind == "RuntimeError"
+            assert "kaput" in str(exc_info.value)
+            # Pipes stayed in sync: the next round works on both workers.
+            assert pool.run(ECHO, ["p", "q"]) == [(0, "p"), (1, "q")]
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(1, label="t-close")
+        pool.close()
+        pool.close()
+        assert pool.workers == 0
+
+    def test_shared_rows_round_trip_and_no_leak(self):
+        before = shm_segments()
+        shm = SharedArrays()
+        arr = shm.add("mat", (4, 6))
+        pool = WorkerPool(2, label="t-shm")
+        try:
+            pool.broadcast(
+                ATTACH,
+                {"specs": shm.specs(), "unregister": pool.attach_unregister},
+            )
+            pool.run(
+                FILL_ROW,
+                [{"name": "mat", "row": 0}, {"name": "mat", "row": 3}],
+            )
+            np.testing.assert_array_equal(arr[0], np.arange(6.0))
+            np.testing.assert_array_equal(arr[3], np.arange(6.0) + 3)
+        finally:
+            pool.close()
+            shm.close()
+        assert shm_segments() == before
+
+    def test_no_segment_leak_after_in_task_exception(self):
+        before = shm_segments()
+        shm = SharedArrays()
+        shm.add("mat", (3, 3))
+        pool = WorkerPool(2, label="t-leak")
+        try:
+            pool.broadcast(
+                ATTACH,
+                {"specs": shm.specs(), "unregister": pool.attach_unregister},
+            )
+            with pytest.raises(RemoteTaskError):
+                pool.broadcast(BOOM, {"message": "mid-parallel failure"})
+        finally:
+            pool.close()
+            shm.close()
+        assert shm_segments() == before
+
+
+# ----------------------------------------------------------------------
+# GP: bit-identical placements across worker counts
+# ----------------------------------------------------------------------
+def gp_bench(seed=11, cells=150):
+    return make_benchmark(
+        BenchmarkSpec(
+            name="p", num_cells=cells, num_macros=2, num_fixed_macros=1,
+            num_terminals=8, seed=seed,
+        )
+    )
+
+
+def gp_config(workers=1, deterministic=True):
+    return GPConfig(
+        clustering=False, max_outer_iterations=8, inner_iterations=10,
+        workers=workers, deterministic=deterministic,
+    )
+
+
+def gp_state(design):
+    return (
+        np.array([n.cx for n in design.nodes]),
+        np.array([n.cy for n in design.nodes]),
+        [n.orientation for n in design.nodes],
+    )
+
+
+def place_with(workers, deterministic=True, seed=11):
+    d = gp_bench(seed=seed)
+    GlobalPlacer(gp_config(workers, deterministic)).place(d)
+    return gp_state(d)
+
+
+class TestGPParallelEquiv:
+    def test_deterministic_mode_bit_identical_any_worker_count(self):
+        drain_worker_cpu()
+        serial = place_with(1)
+        cx2, cy2, o2 = place_with(2)
+        # Engagement proof: the pool actually ran GP tasks (a vacuous
+        # serial fallback would pass the equality below).
+        assert "gp" in drain_worker_cpu()
+        cx3, cy3, o3 = place_with(3)
+        np.testing.assert_array_equal(serial[0], cx2)
+        np.testing.assert_array_equal(serial[1], cy2)
+        assert serial[2] == o2
+        np.testing.assert_array_equal(serial[0], cx3)
+        np.testing.assert_array_equal(serial[1], cy3)
+        assert serial[2] == o3
+        assert shm_segments() == set()
+
+    def test_fast_mode_reproducible_for_fixed_worker_count(self):
+        first = place_with(2, deterministic=False)
+        second = place_with(2, deterministic=False)
+        np.testing.assert_array_equal(first[0], second[0])
+        np.testing.assert_array_equal(first[1], second[1])
+        assert first[2] == second[2]
+
+
+# ----------------------------------------------------------------------
+# legalization: fence-domain Tetris + row-parallel Abacus
+# ----------------------------------------------------------------------
+def fenced_design(seed=5, n_cells=120, n_rows=12, sites=120):
+    rng = np.random.default_rng(seed)
+    d = Design("t")
+    for r in range(n_rows):
+        d.add_row(
+            Row(y=float(r), height=1.0, site_width=0.25, x_min=0.0,
+                num_sites=sites)
+        )
+    width = sites * 0.25
+    left = d.add_region(Region("left", rects=[Rect(0.0, 0.0, width / 2, 6.0)]))
+    right = d.add_region(
+        Region("right", rects=[Rect(width / 2, 6.0, width, 12.0)])
+    )
+    for i in range(n_cells):
+        w = 0.25 * int(rng.integers(2, 8))
+        node = Node(
+            f"c{i}", w, 1.0,
+            x=float(rng.uniform(0, width - w)),
+            y=float(rng.uniform(0, n_rows - 1)),
+        )
+        if i % 3 == 0:
+            node.region = left.index
+        elif i % 3 == 1:
+            node.region = right.index
+        d.add_node(node)
+    return d
+
+
+def legal_state(design):
+    return (
+        np.array([n.x for n in design.nodes]),
+        np.array([n.y for n in design.nodes]),
+    )
+
+
+class TestLegalParallelEquiv:
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_bit_identical_to_serial(self, workers):
+        drain_worker_cpu()
+        d1 = fenced_design()
+        r1 = Legalizer(LegalConfig(workers=1)).legalize(d1)
+        d2 = fenced_design()
+        r2 = Legalizer(LegalConfig(workers=workers)).legalize(d2)
+        if workers == 2:
+            assert "legal" in drain_worker_cpu()  # pool really engaged
+        s1, s2 = legal_state(d1), legal_state(d2)
+        np.testing.assert_array_equal(s1[0], s2[0])
+        np.testing.assert_array_equal(s1[1], s2[1])
+        assert r1.max_displacement == r2.max_displacement
+        assert r1.ok == r2.ok
+        assert shm_segments() == set()
+
+
+# ----------------------------------------------------------------------
+# routing: conflict-free parallel rip-up
+# ----------------------------------------------------------------------
+def routed_design(seed=3, cells=600):
+    d = make_benchmark(
+        BenchmarkSpec(name=f"pr{seed}", num_cells=cells, num_macros=2,
+                      seed=seed)
+    )
+    random_placement(d, seed=seed)
+    return d
+
+
+class TestRouteParallelEquiv:
+    def test_parallel_ripup_engages_and_matches_serial(self, monkeypatch):
+        from repro.parallel.route import ParallelRouter
+
+        calls = []
+        orig = ParallelRouter.reroute
+
+        def counted(self, *args, **kwargs):
+            calls.append(1)
+            return orig(self, *args, **kwargs)
+
+        monkeypatch.setattr(ParallelRouter, "reroute", counted)
+
+        d = routed_design()
+        spec = d.routing
+        arrays = d.pin_arrays()
+        cx, cy = d.pull_centers()
+        ref = GlobalRouter(spec, workers=1).route(arrays=arrays, cx=cx, cy=cy)
+        par = GlobalRouter(spec, workers=2).route(arrays=arrays, cx=cx, cy=cy)
+        assert calls, "parallel rip-up never engaged (design too easy?)"
+        np.testing.assert_array_equal(ref.graph.use_e, par.graph.use_e)
+        np.testing.assert_array_equal(ref.graph.use_n, par.graph.use_n)
+        for attr in ("rc", "total_overflow", "peak_congestion", "vias"):
+            assert getattr(ref.metrics, attr) == getattr(par.metrics, attr)
+        assert ref.num_segments == par.num_segments
+        assert shm_segments() == set()
+
+
+# ----------------------------------------------------------------------
+# checkpoint/resume of a parallel-GP flow
+# ----------------------------------------------------------------------
+class TestCheckpointResumeParallel:
+    def test_killed_parallel_flow_resumes_bit_identical_to_serial(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.dp import DPConfig
+        from repro.flow import FlowConfig, NTUplace4H
+
+        def flow_cfg(workers, checkpoint_dir=None):
+            cfg = FlowConfig()
+            cfg.gp.clustering = False
+            cfg.gp.max_outer_iterations = 10
+            cfg.gp.inner_iterations = 12
+            cfg.refine_outer_iterations = 4
+            cfg.dp = DPConfig(rounds=1, congestion_aware=True)
+            cfg.gp.workers = workers
+            cfg.checkpoint_dir = checkpoint_dir
+            return cfg
+
+        def bench():
+            return make_benchmark(
+                BenchmarkSpec(
+                    name="c", num_cells=180, num_macros=2, num_fixed_macros=1,
+                    num_terminals=10, utilization=0.55, cap_factor=4.0,
+                    seed=81,
+                )
+            )
+
+        def state(design):
+            return [(n.name, n.x, n.y, n.orientation) for n in design.nodes]
+
+        # Reference: one uninterrupted single-worker run.
+        ref = bench()
+        NTUplace4H(flow_cfg(1)).run(ref, route=False)
+
+        # Victim: two-worker GP, checkpointing on, killed in legalization
+        # (so the checkpoint holds a parallel-GP placement).
+        ckpt_dir = str(tmp_path / "ck")
+        victim = bench()
+
+        def killed(self, design):
+            raise KeyboardInterrupt
+
+        with monkeypatch.context() as mp:
+            mp.setattr(Legalizer, "legalize", killed)
+            with pytest.raises(KeyboardInterrupt):
+                NTUplace4H(flow_cfg(2, ckpt_dir)).run(victim, route=False)
+        assert shm_segments() == set()  # the interrupted GP pool cleaned up
+
+        resumed = bench()
+        result = NTUplace4H(flow_cfg(2, ckpt_dir)).run(
+            resumed, resume_from=ckpt_dir
+        )
+        assert "gp" in result.resumed_stages
+        assert state(resumed) == state(ref)
+        assert not result.degraded
+
+
+# ----------------------------------------------------------------------
+# profiler: worker CPU surfaces as workers[*] rows
+# ----------------------------------------------------------------------
+class TestProfilerWorkerCpu:
+    def test_drain_worker_cpu_accumulates_per_label(self):
+        drain_worker_cpu()
+        with WorkerPool(2, label="t-cpu") as pool:
+            pool.broadcast(BURN, {"n": 300_000})
+        drained = drain_worker_cpu()
+        assert drained.get("t-cpu", 0.0) > 0.0
+        assert drain_worker_cpu() == {}  # draining clears the registry
+
+    def test_sampling_profiler_merges_worker_rows(self):
+        drain_worker_cpu()
+        with WorkerPool(2, label="t-prof") as pool:
+            profiler = SamplingProfiler()
+            with profiler:
+                pool.broadcast(BURN, {"n": 300_000})
+        rows = profiler.report(top=100)
+        worker_rows = [
+            r for r in rows
+            if r["stage"] == "workers[*]" and r["function"] == "t-prof"
+        ]
+        assert worker_rows and worker_rows[0]["seconds"] > 0.0
