@@ -52,6 +52,16 @@ except ImportError:
         "parallel_identical": (0.0, 0.0),
         "parallel_wall_s": (1e9, 1e9),
         "parallel_speedup": (1e9, 1e9),
+        "jobs_submitted": (0.0, 0.0),
+        "jobs_done": (0.0, 0.0),
+        "jobs_lost": (0.0, 0.0),
+        "jobs_failed": (0.0, 0.0),
+        "jobs_cancelled": (0.0, 0.0),
+        "jobs_requeued": (1e9, 1e9),
+        "worker_respawns": (1e9, 1e9),
+        "throughput_jobs_per_s": (1e9, 1e9),
+        "latency_p50_s": (1e9, 1e9),
+        "latency_p95_s": (1e9, 1e9),
     }
 # Flags that must be true in the fresh record for the gate to pass.
 # Each is checked only when present, so baselines produced without a

@@ -349,6 +349,189 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.serve import JobServer, ServeSettings
+
+    settings = ServeSettings(
+        workers=args.workers,
+        default_job_workers=args.job_workers,
+        stale_timeout=args.stale_timeout,
+        cancel_grace=args.cancel_grace,
+        default_max_retries=args.max_retries,
+        runs_dir=default_runs_dir(args.runs_dir),
+    )
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: stop.set())
+    with JobServer(
+        args.root, host=args.host, port=args.port, settings=settings
+    ) as server:
+        print(
+            f"serving jobs on {server.url} "
+            f"({settings.workers} workers, root {server.root})",
+            flush=True,
+        )
+        stop.wait()
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _submit_design(args):
+    """The job's design reference from the submit flags; None on misuse."""
+    sources = [bool(args.suite), bool(args.aux), args.cells is not None]
+    if sum(sources) != 1:
+        print(
+            "error: pick exactly one design source: --suite, --aux, or "
+            "--cells",
+            file=sys.stderr,
+        )
+        return None
+    if args.suite:
+        return {"suite": args.suite}
+    if args.aux:
+        return {"aux": os.path.abspath(args.aux)}
+    return {
+        "spec": {
+            "name": args.name,
+            "num_cells": args.cells,
+            "num_macros": args.macros,
+            "seed": args.seed,
+        }
+    }
+
+
+def _parse_assignments(pairs, flag: str):
+    """``key=value`` strings -> dict; prints + returns None on misuse."""
+    out = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            print(f"error: {flag} expects key=value, got {pair!r}",
+                  file=sys.stderr)
+            return None
+        out[key] = value
+    return out
+
+
+def _cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.serve import ServeAPIError, ServeClient
+
+    design = _submit_design(args)
+    if design is None:
+        return 2
+    overrides = _parse_assignments(args.set, "--set")
+    budgets = _parse_assignments(args.stage_budget, "--stage-budget")
+    if overrides is None or budgets is None:
+        return 2
+    options: dict = {}
+    if args.job_workers is not None:
+        options["workers"] = args.job_workers
+    if args.no_route:
+        options["route"] = False
+    if args.no_dp:
+        options["run_dp"] = False
+    if args.wirelength_only:
+        options["wirelength_only"] = True
+    if overrides:
+        options["config"] = overrides
+    if budgets:
+        options["stage_budget"] = {
+            k: float(v) for k, v in budgets.items()
+        }
+    if args.timeout is not None:
+        options["timeout"] = args.timeout
+    if args.faults:
+        options["faults"] = args.faults
+    client = ServeClient(args.url)
+    try:
+        record = client.submit(
+            design,
+            options=options or None,
+            priority=args.priority,
+            max_retries=args.max_retries,
+        )
+        if args.wait:
+            if args.follow:
+                for line in client.stream(
+                    record["job_id"], timeout=args.wait_timeout
+                ):
+                    print(line, flush=True)
+            record = client.wait(
+                record["job_id"], timeout=args.wait_timeout
+            )
+    except ServeAPIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(record, indent=2, sort_keys=True))
+    else:
+        from repro.serve.store import job_summary_row
+
+        print(format_table([job_summary_row(record)], title="job"))
+    if args.wait and record["state"] != "done":
+        return 1
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    import json as _json
+
+    from repro.serve import ServeAPIError, ServeClient
+    from repro.serve.store import job_summary_row
+
+    client = ServeClient(args.url)
+    try:
+        if args.jobs_command == "list":
+            records = client.list(state=args.state, limit=args.limit)
+            if not records:
+                print("no jobs")
+                return 0
+            print(
+                format_table(
+                    [job_summary_row(r) for r in records],
+                    title=f"jobs ({args.url})",
+                )
+            )
+        elif args.jobs_command == "show":
+            print(
+                _json.dumps(
+                    client.get(args.job_id), indent=2, sort_keys=True
+                )
+            )
+        elif args.jobs_command == "result":
+            print(
+                _json.dumps(
+                    client.result(args.job_id), indent=2, sort_keys=True
+                )
+            )
+        elif args.jobs_command == "cancel":
+            record = client.cancel(args.job_id)
+            print(
+                f"{record['job_id']}: state={record['state']} "
+                f"cancel_requested={record['cancel_requested']}"
+            )
+        elif args.jobs_command == "trace":
+            out = client.tail_trace(args.job_id, offset=args.offset)
+            for line in out["lines"]:
+                print(line)
+            print(
+                f"# state={out['state']} next-offset={out['offset']}",
+                file=sys.stderr,
+            )
+    except ServeAPIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _open_registry(args):
     """Resolve the registry directory; (None, code) on usage errors."""
     runs_dir = default_runs_dir(args.runs_dir)
@@ -531,6 +714,132 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser("stats", help="print benchmark statistics")
     s.add_argument("--aux", required=True)
     s.set_defaults(func=_cmd_stats)
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the placement job server (HTTP API + worker fleet)",
+    )
+    sv.add_argument(
+        "--root", required=True, metavar="DIR",
+        help="server state directory (job DB, per-job artifact dirs)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument(
+        "--port", type=int, default=8180,
+        help="listen port (0 = pick a free one; default 8180)",
+    )
+    sv.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="queue-draining worker processes (default 2)",
+    )
+    sv.add_argument(
+        "--job-workers", type=int, default=1, metavar="N",
+        help="default per-job flow worker count; always pinned, so "
+        "REPRO_WORKERS never multiplies across concurrent jobs",
+    )
+    sv.add_argument(
+        "--stale-timeout", type=float, default=15.0, metavar="SEC",
+        help="requeue a running job after SEC without a heartbeat",
+    )
+    sv.add_argument(
+        "--cancel-grace", type=float, default=5.0, metavar="SEC",
+        help="seconds to wait for cooperative cancel before escalating",
+    )
+    sv.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="default crash/stall requeue budget per job",
+    )
+    sv.add_argument(
+        "--runs-dir", metavar="DIR",
+        help="also append finished jobs to this run-history registry",
+    )
+    sv.set_defaults(func=_cmd_serve)
+
+    sm = sub.add_parser("submit", help="submit a job to a running server")
+    sm.add_argument(
+        "--url", default="http://127.0.0.1:8180", help="server base URL"
+    )
+    sm.add_argument("--suite", choices=sorted(SUITE), help="named suite design")
+    sm.add_argument("--aux", help="Bookshelf .aux path (server-readable)")
+    sm.add_argument(
+        "--cells", type=int, metavar="N",
+        help="inline benchgen spec with N cells (see --macros/--seed)",
+    )
+    sm.add_argument("--name", default="bench", help="inline spec name")
+    sm.add_argument("--macros", type=int, default=0, help="inline spec macros")
+    sm.add_argument("--seed", type=int, default=1, help="inline spec seed")
+    sm.add_argument("--priority", type=int, default=0,
+                    help="higher claims first")
+    sm.add_argument(
+        "--job-workers", type=int, metavar="N",
+        help="flow worker processes for this job (pinned; overrides the "
+        "server default)",
+    )
+    sm.add_argument("--no-dp", action="store_true")
+    sm.add_argument("--no-route", action="store_true")
+    sm.add_argument("--wirelength-only", action="store_true")
+    sm.add_argument(
+        "--set", action="append", metavar="KEY=VALUE",
+        help="dotted FlowConfig override, e.g. gp.max_outer_iterations=12 "
+        "(repeatable)",
+    )
+    sm.add_argument(
+        "--stage-budget", action="append", metavar="STAGE=SEC",
+        help="soft per-stage time budget (repeatable)",
+    )
+    sm.add_argument(
+        "--timeout", type=float, metavar="SEC",
+        help="hard wall-clock budget per attempt; the server kills and "
+        "requeues past it",
+    )
+    sm.add_argument(
+        "--faults", metavar="SPEC",
+        help="REPRO_FAULTS-style fault spec installed for this job only",
+    )
+    sm.add_argument(
+        "--max-retries", type=int, metavar="N",
+        help="crash/stall requeue budget for this job",
+    )
+    sm.add_argument(
+        "--wait", action="store_true",
+        help="block until the job is terminal; exit 1 unless it is done",
+    )
+    sm.add_argument(
+        "--follow", action="store_true",
+        help="with --wait: stream the live trace JSONL to stdout",
+    )
+    sm.add_argument(
+        "--wait-timeout", type=float, default=600.0, metavar="SEC"
+    )
+    sm.add_argument(
+        "--json", action="store_true", help="print the raw job record"
+    )
+    sm.set_defaults(func=_cmd_submit)
+
+    jb = sub.add_parser("jobs", help="inspect/cancel jobs on a server")
+    jb.add_argument(
+        "--url", default="http://127.0.0.1:8180", help="server base URL"
+    )
+    jsub = jb.add_subparsers(dest="jobs_command", required=True)
+    jl = jsub.add_parser("list", help="table of jobs, newest first")
+    jl.add_argument("--state", choices=["queued", "running", "done",
+                                        "failed", "cancelled"])
+    jl.add_argument("--limit", type=int, default=50)
+    jl.set_defaults(func=_cmd_jobs)
+    for name, help_text in (
+        ("show", "full record of one job"),
+        ("result", "result summary (409 while still running)"),
+        ("cancel", "cancel a job (immediate if queued, cooperative if "
+                   "running)"),
+    ):
+        jp = jsub.add_parser(name, help=help_text)
+        jp.add_argument("job_id", help="job id (unique prefix accepted)")
+        jp.set_defaults(func=_cmd_jobs)
+    jt = jsub.add_parser("trace", help="tail a job's live trace")
+    jt.add_argument("job_id")
+    jt.add_argument("--offset", type=int, default=0,
+                    help="byte offset from a previous tail")
+    jt.set_defaults(func=_cmd_jobs)
 
     runs = sub.add_parser(
         "runs", help="inspect the persistent run-history registry"

@@ -44,6 +44,8 @@ class DPConfig:
     # always run single-process; the knob exists so flow-level worker
     # plumbing need not special-case this stage.
     workers: int = 1
+    # Parity with the other stage configs' REPRO_WORKERS pinning knob.
+    workers_pinned: bool = False
     # Golden mode: run the original per-pin scoring loops (kept verbatim
     # in IncrementalHPWL) instead of the batched NumPy hot paths.  Results
     # are bit-identical either way — CI and the equivalence tests assert

@@ -48,6 +48,11 @@ class FlowConfig:
     # for any worker count, False lets GP workers pre-reduce their shard
     # (reproducible per worker count only).
     workers: int = 1
+    # True = ``workers`` is exact for every stage: the REPRO_WORKERS env
+    # var is never consulted.  The serve job engine always pins, so N
+    # concurrent jobs on one host use exactly the workers they were
+    # given instead of each fanning out to every core.
+    workers_pinned: bool = False
     deterministic: bool = True
 
     # Resilience (see docs/robustness.md).

@@ -168,6 +168,12 @@ class NTUplace4H:
                 cfg.legal.workers = cfg.workers
             if cfg.dp.workers == 1:
                 cfg.dp.workers = cfg.workers
+        if cfg.workers_pinned:
+            # Pinned counts are exact everywhere: no stage may widen
+            # itself from REPRO_WORKERS (multi-job hosts rely on this).
+            cfg.gp.workers_pinned = True
+            cfg.legal.workers_pinned = True
+            cfg.dp.workers_pinned = True
         if not cfg.deterministic and cfg.gp.deterministic:
             cfg.gp.deterministic = False
         tracer = get_tracer()
@@ -413,6 +419,7 @@ class NTUplace4H:
                                 max_maze_nets=cfg.route_max_maze_nets,
                                 cost_refresh=cfg.route_cost_refresh,
                                 workers=cfg.workers,
+                                workers_pinned=cfg.workers_pinned,
                             )
                             rr = router.route(
                                 design, should_stop=watchdog.expired

@@ -87,6 +87,11 @@ class GPConfig:
     # workers=1 for any worker count; False lets workers pre-reduce
     # their shard (reproducible per worker count only).
     workers: int = 1
+    # Pin the worker count to ``workers`` exactly: never consult the
+    # REPRO_WORKERS env var.  Job engines running several flows on one
+    # host set this so per-job counts stay explicit and concurrent jobs
+    # cannot oversubscribe cores (see resolve_workers(env=...)).
+    workers_pinned: bool = False
     deterministic: bool = True
 
     # Misc.

@@ -248,7 +248,11 @@ class GlobalPlacer:
         # the parent in serial order, so the descent below is bit-
         # identical to workers=1 (reference mode always stays serial —
         # the golden paths never fork).
-        workers = 1 if cfg.reference else resolve_workers(cfg.workers)
+        workers = (
+            1
+            if cfg.reference
+            else resolve_workers(cfg.workers, env=not cfg.workers_pinned)
+        )
         if workers > 1:
             from repro.parallel.gp import ParallelGP
 

@@ -36,6 +36,9 @@ class LegalConfig:
     # 1 = serial (REPRO_WORKERS env can override), 0 = one per CPU; the
     # parallel paths are bit-identical to serial by construction.
     workers: int = 1
+    # True = use ``workers`` exactly, ignoring REPRO_WORKERS (multi-job
+    # hosts pin per-job counts so concurrent flows cannot oversubscribe).
+    workers_pinned: bool = False
 
 
 @dataclass
@@ -85,6 +88,7 @@ class Legalizer:
         self.tetris_only = cfg.tetris_only
         self.reference = cfg.reference
         self.workers = cfg.workers
+        self.workers_pinned = cfg.workers_pinned
 
     def legalize(self, design: Design) -> LegalizeResult:
         tracer = get_tracer()
@@ -95,7 +99,11 @@ class Legalizer:
         with tracer.span("macro_legal"):
             macros_moved = legalize_macros(design, channel=self.macro_channel)
         pool = None
-        workers = 1 if self.reference else resolve_workers(self.workers)
+        workers = (
+            1
+            if self.reference
+            else resolve_workers(self.workers, env=not self.workers_pinned)
+        )
         try:
             with tracer.span("tetris"):
                 submap = SubRowMap(design)

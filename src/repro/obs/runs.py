@@ -63,6 +63,21 @@ TOLERANCES = {
     "parallel_identical": (0.0, 0.0),
     "parallel_wall_s": (1e9, 1e9),
     "parallel_speedup": (1e9, 1e9),
+    # Serve load-test records (BENCH_serve.json).  Job accounting is
+    # exact — a lost or failed job is a correctness bug, not drift.
+    # Requeue/respawn counts depend on where the kill lands and
+    # throughput/latency are machine-dependent; wide-open bands keep
+    # them in the record as artifacts without gating on them.
+    "jobs_submitted": (0.0, 0.0),
+    "jobs_done": (0.0, 0.0),
+    "jobs_lost": (0.0, 0.0),
+    "jobs_failed": (0.0, 0.0),
+    "jobs_cancelled": (0.0, 0.0),
+    "jobs_requeued": (1e9, 1e9),
+    "worker_respawns": (1e9, 1e9),
+    "throughput_jobs_per_s": (1e9, 1e9),
+    "latency_p50_s": (1e9, 1e9),
+    "latency_p95_s": (1e9, 1e9),
 }
 
 #: Fallback tolerance for metrics without an explicit entry.

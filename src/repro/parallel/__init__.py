@@ -98,7 +98,7 @@ def physical_cores() -> int:
     return logical_cores()
 
 
-def resolve_workers(value: int) -> int:
+def resolve_workers(value: int, *, env: bool = True) -> int:
     """Effective worker count for a config knob.
 
     ``value <= 0`` means "auto" (one worker per available logical CPU).
@@ -106,14 +106,21 @@ def resolve_workers(value: int) -> int:
     ``REPRO_WORKERS`` environment variable so whole test/CI matrices can
     opt in without threading a flag through every construction site.
     Explicit ``value > 1`` wins over the environment.
+
+    ``env=False`` pins the count to ``value`` itself (still with the
+    ``<= 0`` auto rule) and never reads ``REPRO_WORKERS``.  Multi-job
+    hosts need this: a serve worker running four concurrent jobs must
+    not have each job silently fan out to every core because the server
+    process happened to inherit ``REPRO_WORKERS=8``.  Configs expose it
+    as ``workers_pinned``.
     """
     if value <= 0:
         return max(1, logical_cores())
-    if value == 1:
-        env = os.environ.get("REPRO_WORKERS", "").strip()
-        if env:
+    if value == 1 and env:
+        raw = os.environ.get("REPRO_WORKERS", "").strip()
+        if raw:
             try:
-                parsed = int(env)
+                parsed = int(raw)
             except ValueError:
                 return 1
             if parsed <= 0:

@@ -45,6 +45,8 @@ FAULT_POINTS = {
     "watchdog.expire.route": "force the routing watchdog to report expiry",
     "clock.skew": "advance the watchdog clock by <value> seconds when checked",
     "checkpoint.io_error": "raise FaultInjected while writing a flow checkpoint",
+    "serve.worker_exit": "hard-exit a serve worker process (os._exit) at "
+    "the <hit>-th completed flow stage (crash/requeue drills)",
 }
 
 ENV_VAR = "REPRO_FAULTS"

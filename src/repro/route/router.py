@@ -107,6 +107,7 @@ class GlobalRouter:
         cost_refresh: int = 1,
         reference: bool = False,
         workers: int = 1,
+        workers_pinned: bool = False,
     ):
         self.spec = spec
         self.sweeps = max(1, sweeps)
@@ -122,6 +123,9 @@ class GlobalRouter:
         # Only the incremental cost mode (cost_refresh == 1) has a
         # parallel path; reference mode always runs serial.
         self.workers = workers
+        # True = ``workers`` is exact; REPRO_WORKERS is never consulted
+        # (per-job pinning on multi-job hosts).
+        self.workers_pinned = workers_pinned
         self._par = None
         self._par_workers = 1
         self._par_failed = False
@@ -183,7 +187,9 @@ class GlobalRouter:
         self._par = None
         self._par_failed = False
         self._par_workers = (
-            1 if self.reference else resolve_workers(self.workers)
+            1
+            if self.reference
+            else resolve_workers(self.workers, env=not self.workers_pinned)
         )
         try:
             return self._route_phases(

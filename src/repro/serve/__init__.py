@@ -1,0 +1,54 @@
+"""Placement-as-a-service: a persistent job queue + worker fleet + HTTP API.
+
+``repro.serve`` turns the one-shot :class:`~repro.flow.NTUplace4H` flow
+into a long-running service (ROADMAP item: production-scale serving):
+
+* :mod:`repro.serve.schema` — versioned job-record schema and lifecycle
+  state machine.
+* :mod:`repro.serve.store` — SQLite-backed persistent priority queue
+  with atomic multi-process claims.
+* :mod:`repro.serve.worker` — the per-process job runner: builds the
+  design, runs the flow with pinned per-job workers, streams progress
+  via a live JSONL trace, heartbeats, honours cooperative cancel, and
+  resumes crashed attempts from their last stage checkpoint.
+* :mod:`repro.serve.engine` — the worker supervisor: crash/stall/
+  timeout requeue with bounded retries, cancel escalation, respawn.
+* :mod:`repro.serve.server` — stdlib HTTP API (submit/status/result/
+  cancel/list/trace).
+* :mod:`repro.serve.client` — urllib client used by the CLI, the
+  load-test bench, and CI.
+
+See ``docs/serving.md`` for the full API and lifecycle reference.
+"""
+
+from repro.serve.client import ServeAPIError, ServeClient
+from repro.serve.engine import ServeSettings, WorkerSupervisor
+from repro.serve.schema import (
+    JOB_SCHEMA_VERSION,
+    JOB_STATES,
+    TERMINAL_STATES,
+    build_job_schema,
+    new_job_record,
+    validate_job_record,
+)
+from repro.serve.server import JobServer
+from repro.serve.store import JobStore, JobStoreError
+from repro.serve.worker import run_job, worker_loop
+
+__all__ = [
+    "JOB_SCHEMA_VERSION",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "JobServer",
+    "JobStore",
+    "JobStoreError",
+    "ServeAPIError",
+    "ServeClient",
+    "ServeSettings",
+    "WorkerSupervisor",
+    "build_job_schema",
+    "new_job_record",
+    "run_job",
+    "validate_job_record",
+    "worker_loop",
+]

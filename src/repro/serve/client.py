@@ -1,0 +1,183 @@
+"""Thin urllib client for the serve HTTP API (stdlib only).
+
+Everything the CLI, the load-test bench, and the CI smoke job need to
+talk to a :class:`~repro.serve.server.JobServer`: submit, poll, tail
+the live trace, cancel, and wait for terminal states.  Errors come
+back as :class:`ServeAPIError` carrying the HTTP status and the
+server's ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from urllib.parse import quote, urlencode
+
+from repro.serve.schema import TERMINAL_STATES
+
+
+class ServeAPIError(RuntimeError):
+    """An HTTP-level failure talking to the job server."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """JSON-over-HTTP client for one job server."""
+
+    def __init__(self, url: str, *, timeout: float = 30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return json.loads(resp.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+                message = detail.get("error", str(exc))
+            except (ValueError, UnicodeDecodeError):
+                message = str(exc)
+            raise ServeAPIError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServeAPIError(0, f"cannot reach {self.url}: {exc.reason}") \
+                from None
+
+    # -- API -----------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def submit(
+        self,
+        design: dict,
+        *,
+        options: dict | None = None,
+        priority: int = 0,
+        max_retries: int | None = None,
+    ) -> dict:
+        body: dict = {"design": design, "priority": priority}
+        if options:
+            body["options"] = options
+        if max_retries is not None:
+            body["max_retries"] = max_retries
+        return self._request("POST", "/jobs", body)
+
+    def get(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{quote(job_id)}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{quote(job_id)}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{quote(job_id)}/cancel")
+
+    def list(self, *, state: str | None = None, limit: int = 100) -> list:
+        query = {"limit": limit}
+        if state:
+            query["state"] = state
+        path = "/jobs?" + urlencode(query)
+        return self._request("GET", path)["jobs"]
+
+    def tail_trace(self, job_id: str, *, offset: int = 0) -> dict:
+        path = f"/jobs/{quote(job_id)}/trace?" + urlencode(
+            {"offset": offset}
+        )
+        return self._request("GET", path)
+
+    # -- waiting -------------------------------------------------------
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 300.0,
+        poll: float = 0.25,
+    ) -> dict:
+        """Block until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.get(job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def wait_all(
+        self,
+        job_ids: list,
+        *,
+        timeout: float = 600.0,
+        poll: float = 0.25,
+    ) -> dict:
+        """Wait for many jobs; returns ``{job_id: final record}``.
+
+        Polls via ``/jobs`` listings (one request per sweep, not one
+        per job) so waiting on hundreds of jobs stays cheap.
+        """
+        pending = set(job_ids)
+        done: dict = {}
+        deadline = time.monotonic() + timeout
+        while pending:
+            listed = {
+                r["job_id"]: r
+                for r in self.list(limit=max(1000, len(job_ids) * 2))
+            }
+            for job_id in list(pending):
+                record = listed.get(job_id)
+                if record is None:
+                    record = self.get(job_id)
+                if record["state"] in TERMINAL_STATES:
+                    done[job_id] = record
+                    pending.discard(job_id)
+            if pending:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"{len(pending)} jobs not terminal after "
+                        f"{timeout:.0f}s: {sorted(pending)[:5]}..."
+                    )
+                time.sleep(poll)
+        return done
+
+    def stream(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 300.0,
+        poll: float = 0.2,
+    ):
+        """Yield trace lines live until the job goes terminal."""
+        offset = 0
+        deadline = time.monotonic() + timeout
+        while True:
+            out = self.tail_trace(job_id, offset=offset)
+            offset = out["offset"]
+            yield from out["lines"]
+            if out["state"] in TERMINAL_STATES:
+                # One final drain in case lines landed after the state
+                # flipped.
+                final = self.tail_trace(job_id, offset=offset)
+                yield from final["lines"]
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} trace stream timed out")
+            time.sleep(poll)

@@ -1,0 +1,259 @@
+"""The HTTP face of the job engine (stdlib ``http.server`` only).
+
+:class:`JobServer` composes the three serve pieces — the persistent
+:class:`~repro.serve.store.JobStore`, the
+:class:`~repro.serve.engine.WorkerSupervisor`, and a threading HTTP
+server — into one placement-as-a-service endpoint.  The API is plain
+JSON over HTTP (see ``docs/serving.md``):
+
+====================  =====================================================
+``GET  /health``      server + worker liveness, queue counts
+``POST /jobs``        submit a job; body ``{"design": {...}, "options":
+                      {...}, "priority": n, "max_retries": n}``; 201 +
+                      the stored record
+``GET  /jobs``        list records (``?state=queued&limit=50``)
+``GET  /jobs/<id>``   one record (unique id prefix accepted)
+``GET  /jobs/<id>/result``  result summary; 409 while not terminal
+``POST /jobs/<id>/cancel``  cancel (immediate if queued, cooperative if
+                      running)
+``GET  /jobs/<id>/trace?offset=N``  tail the live attempt trace from
+                      byte ``N``; returns new offset + JSONL lines
+====================  =====================================================
+
+Progress streaming is pull-based tailing of each job's
+:class:`~repro.obs.bus.JsonlStreamSink` file: the worker appends
+records as they happen, ``/trace`` serves the bytes past the caller's
+offset, and the client loops — no sockets to babysit, and the trace
+survives the server.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs import get_logger
+from repro.obs.schema import SchemaError
+from repro.serve.engine import ServeSettings, WorkerSupervisor
+from repro.serve.schema import TERMINAL_STATES
+from repro.serve.store import JobStore, JobStoreError
+
+_log = get_logger("serve.server")
+
+#: Submission body size cap (a benchgen spec is tiny; 1 MiB is generous).
+MAX_BODY_BYTES = 1 << 20
+
+
+class JobServer:
+    """HTTP job-submission server wrapping a supervisor and a store."""
+
+    def __init__(
+        self,
+        root,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        settings: ServeSettings | None = None,
+    ):
+        self.root = str(root)
+        self.settings = settings or ServeSettings()
+        self.store = JobStore(self.root)
+        self.supervisor = WorkerSupervisor(self.root, self.settings)
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "JobServer":
+        self.supervisor.start()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="serve-http",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info("serving jobs on %s (root %s)", self.url, self.root)
+        return self
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+        self.supervisor.close()
+
+    def __enter__(self) -> "JobServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- request-level operations --------------------------------------
+    def health(self) -> dict:
+        return {
+            "ok": True,
+            "root": self.root,
+            "queue": self.store.counts(),
+            "supervisor": self.supervisor.describe(),
+        }
+
+    def submit(self, body: dict) -> dict:
+        design = body.get("design")
+        if not isinstance(design, dict):
+            raise SchemaError("body must carry a 'design' object")
+        max_retries = body.get(
+            "max_retries", self.settings.default_max_retries
+        )
+        return self.store.submit(
+            design,
+            options=body.get("options"),
+            priority=int(body.get("priority", 0)),
+            max_retries=int(max_retries),
+        )
+
+    def tail_trace(self, job_id: str, offset: int) -> dict:
+        record = self.store.get(job_id)
+        path = record.get("trace_path")
+        out = {
+            "job_id": record["job_id"],
+            "state": record["state"],
+            "offset": offset,
+            "lines": [],
+        }
+        if not path or not os.path.exists(path):
+            return out
+        size = os.path.getsize(path)
+        if offset > size:
+            offset = 0  # a new attempt started a fresh trace file
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            chunk = fh.read()
+        # Serve whole lines only; a partially flushed record waits for
+        # the next poll.
+        cut = chunk.rfind(b"\n")
+        if cut < 0:
+            out["offset"] = offset
+            return out
+        out["offset"] = offset + cut + 1
+        out["lines"] = chunk[: cut].decode("utf-8", "replace").splitlines()
+        return out
+
+
+def _make_handler(server: JobServer):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # -- plumbing --------------------------------------------------
+        def log_message(self, fmt, *args):  # noqa: A003 - http.server API
+            _log.debug("%s " + fmt, self.address_string(), *args)
+
+        def _reply(self, status: int, payload: dict) -> None:
+            blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(blob)))
+            self.end_headers()
+            self.wfile.write(blob)
+
+        def _error(self, status: int, message: str) -> None:
+            self._reply(status, {"error": message})
+
+        def _body(self) -> dict | None:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > MAX_BODY_BYTES:
+                self._error(413, "request body too large")
+                return None
+            raw = self.rfile.read(length) if length else b"{}"
+            try:
+                body = json.loads(raw.decode("utf-8") or "{}")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                self._error(400, f"bad JSON body: {exc}")
+                return None
+            if not isinstance(body, dict):
+                self._error(400, "body must be a JSON object")
+                return None
+            return body
+
+        # -- routing ---------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 - http.server API
+            parsed = urlparse(self.path)
+            parts = [p for p in parsed.path.split("/") if p]
+            query = parse_qs(parsed.query)
+            try:
+                if parts == ["health"]:
+                    self._reply(200, server.health())
+                elif parts == ["jobs"]:
+                    state = (query.get("state") or [None])[0]
+                    limit = int((query.get("limit") or [100])[0])
+                    self._reply(
+                        200,
+                        {"jobs": server.store.list(state=state, limit=limit)},
+                    )
+                elif len(parts) == 2 and parts[0] == "jobs":
+                    self._reply(200, server.store.get(parts[1]))
+                elif len(parts) == 3 and parts[0] == "jobs" \
+                        and parts[2] == "result":
+                    record = server.store.get(parts[1])
+                    if record["state"] not in TERMINAL_STATES:
+                        self._error(
+                            409,
+                            f"job {record['job_id']} is {record['state']}",
+                        )
+                    else:
+                        self._reply(200, record)
+                elif len(parts) == 3 and parts[0] == "jobs" \
+                        and parts[2] == "trace":
+                    offset = int((query.get("offset") or [0])[0])
+                    self._reply(200, server.tail_trace(parts[1], offset))
+                else:
+                    self._error(404, f"no route {parsed.path!r}")
+            except JobStoreError as exc:
+                self._error(404, str(exc))
+            except ValueError as exc:
+                self._error(400, str(exc))
+
+        def do_POST(self) -> None:  # noqa: N802 - http.server API
+            parsed = urlparse(self.path)
+            parts = [p for p in parsed.path.split("/") if p]
+            try:
+                if parts == ["jobs"]:
+                    body = self._body()
+                    if body is None:
+                        return
+                    self._reply(201, server.submit(body))
+                elif len(parts) == 3 and parts[0] == "jobs" \
+                        and parts[2] == "cancel":
+                    self._reply(
+                        200, server.store.request_cancel(parts[1])
+                    )
+                else:
+                    self._error(404, f"no route {parsed.path!r}")
+            except JobStoreError as exc:
+                self._error(404, str(exc))
+            except SchemaError as exc:
+                self._error(400, f"invalid job: {exc}")
+            except (TypeError, ValueError) as exc:
+                self._error(400, str(exc))
+
+    return Handler

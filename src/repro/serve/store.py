@@ -1,0 +1,476 @@
+"""The persistent priority job queue backing the serve engine.
+
+Storage follows :class:`repro.obs.runs.RunRegistry`: one SQLite
+database under the serve root (``jobs.sqlite``) holding the full JSON
+record per job plus mirrored hot columns (state, priority, heartbeat,
+worker pid) for queries.  Unlike the run registry the store is written
+concurrently by several *processes* — the HTTP server and every worker
+— so connections run in WAL mode with a busy timeout, and **every**
+mutation (not just the queued->running claim) is a single
+``BEGIN IMMEDIATE`` read-modify-write transaction.  A fetch outside
+the write transaction would be a lost-update bug: a concurrent
+transition (claim, requeue, finish) committed between the fetch and
+the write would be silently resurrected by the stale full-record
+write — observed in practice as a job claimed twice at the same
+attempt number, two processes running it concurrently.
+
+On top of atomicity, writes from workers are *attempt-scoped*: the
+worker passes the attempt number it claimed, and the store refuses the
+write (``superseded``) when the record has moved on — so a zombie
+attempt (a worker the supervisor believed dead, a beat thread that
+outlived its join timeout) can never stamp heartbeats, clobber paths,
+or overwrite the real attempt's result.  The supervisor's requeue is
+likewise guarded by the worker pid it observed, because its poll
+snapshot is stale by construction.
+
+``claim`` orders by ``priority DESC, created ASC, job_id`` — higher
+priority first, FIFO within a priority band.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import sqlite3
+import time
+
+from repro.serve.schema import (
+    JOB_SCHEMA_VERSION,
+    TERMINAL_STATES,
+    new_job_record,
+    validate_job_record,
+)
+
+
+class JobStoreError(RuntimeError):
+    """Lookup or storage failure in the job store."""
+
+
+class JobStore:
+    """SQLite-backed persistent priority job queue (multi-process safe)."""
+
+    DB_NAME = "jobs.sqlite"
+
+    def __init__(self, root):
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.db_path = os.path.join(self.root, self.DB_NAME)
+        with contextlib.closing(self._connect()) as con, con:
+            con.execute(
+                "CREATE TABLE IF NOT EXISTS jobs ("
+                " job_id TEXT PRIMARY KEY,"
+                " created REAL NOT NULL,"
+                " priority INTEGER NOT NULL,"
+                " state TEXT NOT NULL,"
+                " attempts INTEGER NOT NULL,"
+                " worker INTEGER,"
+                " heartbeat REAL,"
+                " cancel_requested INTEGER NOT NULL DEFAULT 0,"
+                " record TEXT NOT NULL)"
+            )
+            con.execute(
+                "CREATE INDEX IF NOT EXISTS idx_jobs_state_priority"
+                " ON jobs(state, priority DESC, created)"
+            )
+
+    def _connect(self) -> sqlite3.Connection:
+        con = sqlite3.connect(self.db_path, timeout=30.0)
+        con.execute("PRAGMA journal_mode=WAL")
+        con.execute("PRAGMA busy_timeout=30000")
+        return con
+
+    @contextlib.contextmanager
+    def _txn(self):
+        """One ``BEGIN IMMEDIATE`` write transaction on a fresh connection.
+
+        The write lock is taken *before* any read, so a fetch inside the
+        block can never go stale under a concurrent writer — the whole
+        read-modify-write is atomic.  Commits on success, rolls back on
+        any exception, always closes the connection.
+        """
+        con = self._connect()
+        try:
+            con.isolation_level = None
+            con.execute("BEGIN IMMEDIATE")
+            try:
+                yield con
+                con.execute("COMMIT")
+            except BaseException:
+                try:
+                    con.execute("ROLLBACK")
+                except sqlite3.Error:
+                    pass
+                raise
+        finally:
+            con.close()
+
+    @contextlib.contextmanager
+    def _read(self):
+        """A read-only connection, closed on exit."""
+        con = self._connect()
+        try:
+            yield con
+        finally:
+            con.close()
+
+    @staticmethod
+    def _superseded(record: dict, attempt: int | None) -> bool:
+        """Whether a worker-side write for ``attempt`` lost its lease."""
+        if attempt is None:
+            return False
+        return (
+            record["state"] != "running"
+            or int(record["attempts"]) != int(attempt)
+        )
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _dump(record: dict) -> str:
+        return json.dumps(record, sort_keys=True)
+
+    def _put(self, con, record: dict) -> None:
+        """Write ``record`` plus its mirrored columns (inside a txn)."""
+        con.execute(
+            "UPDATE jobs SET state = ?, attempts = ?, worker = ?,"
+            " heartbeat = ?, cancel_requested = ?, record = ?"
+            " WHERE job_id = ?",
+            (
+                record["state"],
+                record["attempts"],
+                record["worker"],
+                record["heartbeat"],
+                1 if record["cancel_requested"] else 0,
+                self._dump(record),
+                record["job_id"],
+            ),
+        )
+
+    def _fetch(self, con, job_id: str) -> dict:
+        row = con.execute(
+            "SELECT record FROM jobs WHERE job_id = ?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise JobStoreError(f"no job {job_id!r} in {self.root}")
+        return json.loads(row[0])
+
+    # -- submission ----------------------------------------------------
+    def submit(
+        self,
+        design: dict,
+        *,
+        options: dict | None = None,
+        priority: int = 0,
+        max_retries: int = 2,
+    ) -> dict:
+        """Queue one job; returns its (validated) record."""
+        record = new_job_record(
+            design,
+            options=options,
+            priority=priority,
+            max_retries=max_retries,
+        )
+        with self._txn() as con:
+            con.execute(
+                "INSERT INTO jobs (job_id, created, priority, state,"
+                " attempts, worker, heartbeat, cancel_requested, record)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, 0, ?)",
+                (
+                    record["job_id"],
+                    record["created"],
+                    record["priority"],
+                    record["state"],
+                    record["attempts"],
+                    None,
+                    None,
+                    self._dump(record),
+                ),
+            )
+        return record
+
+    # -- the claim (queued -> running) ---------------------------------
+    def claim(self, worker_pid: int, *, now: float | None = None) -> dict | None:
+        """Atomically take the best queued job; ``None`` when idle.
+
+        Claiming increments ``attempts`` (attempts counts *starts*) and
+        stamps ``started``/``heartbeat``/``worker``.
+        """
+        now = time.time() if now is None else float(now)
+        with self._txn() as con:
+            row = con.execute(
+                "SELECT job_id, record FROM jobs"
+                " WHERE state = 'queued' AND cancel_requested = 0"
+                " ORDER BY priority DESC, created ASC, job_id ASC LIMIT 1"
+            ).fetchone()
+            if row is None:
+                return None
+            record = json.loads(row[1])
+            record["state"] = "running"
+            record["attempts"] = int(record["attempts"]) + 1
+            record["worker"] = int(worker_pid)
+            record["started"] = now
+            record["heartbeat"] = now
+            record["stage"] = None
+            self._put(con, record)
+            return record
+
+    # -- liveness ------------------------------------------------------
+    def heartbeat(
+        self, job_id: str, *, attempt: int | None = None,
+        stage: str | None = None, now: float | None = None,
+    ) -> str:
+        """Stamp a running job's heartbeat.
+
+        Returns ``"ok"``, ``"cancel"`` (cancel requested — the worker
+        should wind the job down), or ``"superseded"`` (the record
+        moved past ``attempt``; the caller no longer owns this job and
+        nothing was written).
+        """
+        now = time.time() if now is None else float(now)
+        with self._txn() as con:
+            record = self._fetch(con, job_id)
+            if self._superseded(record, attempt) or (
+                attempt is None and record["state"] != "running"
+            ):
+                return "superseded"
+            record["heartbeat"] = now
+            if stage is not None:
+                record["stage"] = stage
+            self._put(con, record)
+            return "cancel" if record["cancel_requested"] else "ok"
+
+    def set_paths(
+        self, job_id: str, *, attempt: int | None = None,
+        job_dir: str | None = None, trace_path: str | None = None,
+        checkpoint_dir: str | None = None,
+    ) -> bool:
+        """Attach artifact paths to a job record (``False`` = superseded)."""
+        with self._txn() as con:
+            record = self._fetch(con, job_id)
+            if self._superseded(record, attempt):
+                return False
+            if job_dir is not None:
+                record["job_dir"] = str(job_dir)
+            if trace_path is not None:
+                record["trace_path"] = str(trace_path)
+            if checkpoint_dir is not None:
+                record["checkpoint_dir"] = str(checkpoint_dir)
+            self._put(con, record)
+            return True
+
+    # -- terminal transitions ------------------------------------------
+    def finish(self, job_id: str, result: dict, *,
+               attempt: int | None = None,
+               now: float | None = None) -> dict:
+        """running -> done, with the flow-result summary attached."""
+        return self._terminal(job_id, "done", now, attempt=attempt,
+                              result=result)
+
+    def fail(self, job_id: str, error: str, *,
+             attempt: int | None = None,
+             now: float | None = None) -> dict:
+        """running/queued -> failed, with a human-readable reason."""
+        return self._terminal(job_id, "failed", now, attempt=attempt,
+                              error=error)
+
+    def mark_cancelled(self, job_id: str, *, attempt: int | None = None,
+                       now: float | None = None) -> dict:
+        """running/queued -> cancelled."""
+        return self._terminal(job_id, "cancelled", now, attempt=attempt)
+
+    def _terminal(self, job_id: str, state: str, now: float | None,
+                  *, attempt: int | None = None,
+                  result: dict | None = None,
+                  error: str | None = None) -> dict:
+        now = time.time() if now is None else float(now)
+        with self._txn() as con:
+            record = self._fetch(con, job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record  # idempotent: first terminal state wins
+            if self._superseded(record, attempt):
+                # A zombie attempt must not overwrite the live one's
+                # outcome; the caller's view of the job is history.
+                return record
+            record["state"] = state
+            record["finished"] = now
+            record["worker"] = None
+            if result is not None:
+                record["result"] = result
+            if error is not None:
+                record["error"] = error
+            validate_job_record(record)
+            self._put(con, record)
+            return record
+
+    # -- cancellation --------------------------------------------------
+    def request_cancel(self, job_id: str, *,
+                       now: float | None = None) -> dict:
+        """Cancel a queued job immediately; flag a running one.
+
+        A queued job flips straight to ``cancelled``.  A running job
+        gets ``cancel_requested`` set — its worker winds down
+        cooperatively at the next telemetry beat and marks it cancelled
+        (the supervisor escalates if it doesn't).  Terminal jobs are
+        left untouched.
+        """
+        now = time.time() if now is None else float(now)
+        with self._txn() as con:
+            record = self._fetch(con, job_id)
+            if record["state"] == "queued":
+                record["state"] = "cancelled"
+                record["finished"] = now
+                record["cancel_requested"] = True
+                self._put(con, record)
+            elif record["state"] == "running":
+                record["cancel_requested"] = True
+                self._put(con, record)
+            return record
+
+    # -- requeue (crash / timeout / shutdown recovery) -----------------
+    def requeue(
+        self,
+        job_id: str,
+        reason: str,
+        *,
+        count_attempt: bool = True,
+        attempt: int | None = None,
+        expect_worker: int | None = None,
+        detail: dict | None = None,
+        now: float | None = None,
+    ) -> dict:
+        """running -> queued (bounded) or failed (retries exhausted).
+
+        ``count_attempt=False`` refunds the started attempt — used for
+        orderly shutdown, where the interruption is the server's fault,
+        not the job's.  Every requeue appends a machine-readable entry
+        to the record's ``requeues`` list.
+
+        ``attempt`` (worker callers) and ``expect_worker`` (supervisor
+        callers, whose poll snapshot is stale by construction) are
+        preconditions checked inside the transaction: when the record
+        has already moved on — re-claimed by another worker, finished —
+        the requeue is refused and the current record returned
+        unchanged.
+        """
+        now = time.time() if now is None else float(now)
+        with self._txn() as con:
+            record = self._fetch(con, job_id)
+            if record["state"] in TERMINAL_STATES:
+                return record
+            if self._superseded(record, attempt):
+                return record
+            if (
+                expect_worker is not None
+                and record.get("worker") != expect_worker
+            ):
+                return record
+            entry = {
+                "time": now,
+                "reason": reason,
+                "attempt": record["attempts"],
+            }
+            if detail:
+                entry.update(detail)
+            record["requeues"].append(entry)
+            if not count_attempt:
+                record["attempts"] = max(0, int(record["attempts"]) - 1)
+            record["worker"] = None
+            record["heartbeat"] = None
+            record["stage"] = None
+            if record["attempts"] > record["max_retries"]:
+                record["state"] = "failed"
+                record["finished"] = now
+                record["error"] = (
+                    f"retries exhausted after {record['attempts']} attempts"
+                    f" (last: {reason})"
+                )
+            else:
+                record["state"] = "queued"
+            validate_job_record(record)
+            self._put(con, record)
+            return record
+
+    def stale_running(self, timeout: float, *,
+                      now: float | None = None) -> list[dict]:
+        """Running jobs whose heartbeat is older than ``timeout`` seconds."""
+        now = time.time() if now is None else float(now)
+        with self._read() as con:
+            rows = con.execute(
+                "SELECT record FROM jobs WHERE state = 'running'"
+                " AND heartbeat IS NOT NULL AND heartbeat < ?",
+                (now - float(timeout),),
+            ).fetchall()
+        return [json.loads(r[0]) for r in rows]
+
+    def running(self) -> list[dict]:
+        """All currently running jobs."""
+        return self.list(state="running")
+
+    # -- reads ---------------------------------------------------------
+    def get(self, job_id: str) -> dict:
+        """One record by exact id or unique prefix."""
+        with self._read() as con:
+            row = con.execute(
+                "SELECT record FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+            if row is not None:
+                return json.loads(row[0])
+            rows = con.execute(
+                "SELECT record FROM jobs WHERE job_id LIKE ?"
+                " ORDER BY created DESC",
+                (job_id + "%",),
+            ).fetchall()
+        if not rows:
+            raise JobStoreError(f"no job matching {job_id!r} in {self.root}")
+        if len(rows) > 1:
+            ids = [json.loads(r[0])["job_id"] for r in rows]
+            raise JobStoreError(
+                f"ambiguous job id {job_id!r}: matches {', '.join(ids)}"
+            )
+        return json.loads(rows[0][0])
+
+    def list(self, *, state: str | None = None,
+             limit: int | None = None) -> list[dict]:
+        """Stored records, newest first (optionally one state only)."""
+        query = "SELECT record FROM jobs"
+        params: list = []
+        if state is not None:
+            query += " WHERE state = ?"
+            params.append(state)
+        query += " ORDER BY created DESC, job_id DESC"
+        if limit is not None:
+            query += " LIMIT ?"
+            params.append(int(limit))
+        with self._read() as con:
+            rows = con.execute(query, params).fetchall()
+        return [json.loads(r[0]) for r in rows]
+
+    def counts(self) -> dict:
+        """``{state: count}`` over every job in the store."""
+        with self._read() as con:
+            rows = con.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+            ).fetchall()
+        return {state: int(n) for state, n in rows}
+
+    def idle(self) -> bool:
+        """Whether no job is queued or running."""
+        counts = self.counts()
+        return not (counts.get("queued") or counts.get("running"))
+
+
+def job_summary_row(record: dict) -> dict:
+    """Compact table row for ``repro jobs list``."""
+    result = record.get("result") or {}
+    return {
+        "job_id": record.get("job_id", ""),
+        "state": record.get("state", ""),
+        "pri": record.get("priority", 0),
+        "attempts": record.get("attempts", 0),
+        "stage": record.get("stage") or "",
+        "HPWL": round(result.get("hpwl_final", 0.0), 0),
+        "legal": "yes" if result.get("legal") else "",
+        "degraded": "yes" if result.get("degraded") else "",
+        "requeues": len(record.get("requeues", [])),
+        "schema": record.get("schema", JOB_SCHEMA_VERSION),
+    }
