@@ -62,6 +62,21 @@ except ImportError:
         "throughput_jobs_per_s": (1e9, 1e9),
         "latency_p50_s": (1e9, 1e9),
         "latency_p95_s": (1e9, 1e9),
+        "chaos_invariant_violations": (0.0, 0.0),
+        "chaos_lost_jobs": (0.0, 0.0),
+        "chaos_duplicate_terminals": (0.0, 0.0),
+        "chaos_attempt_regressions": (0.0, 0.0),
+        "chaos_orphaned_shm": (0.0, 0.0),
+        "chaos_result_mismatches": (0.0, 0.0),
+        "chaos_submitted": (1e9, 1e9),
+        "chaos_done": (1e9, 1e9),
+        "chaos_failed": (1e9, 1e9),
+        "chaos_cancelled": (1e9, 1e9),
+        "chaos_requeues": (1e9, 1e9),
+        "chaos_worker_kills": (1e9, 1e9),
+        "chaos_restarts": (1e9, 1e9),
+        "chaos_faults_fired": (1e9, 1e9),
+        "chaos_store_recoveries": (1e9, 1e9),
     }
 # Flags that must be true in the fresh record for the gate to pass.
 # Each is checked only when present, so baselines produced without a

@@ -362,6 +362,9 @@ def _cmd_serve(args) -> int:
         cancel_grace=args.cancel_grace,
         default_max_retries=args.max_retries,
         runs_dir=default_runs_dir(args.runs_dir),
+        max_queue_depth=args.max_queue_depth,
+        rate_limit=args.rate_limit,
+        drain_timeout=args.drain_timeout,
     )
     stop = threading.Event()
     for sig in (signal.SIGINT, signal.SIGTERM):
@@ -375,7 +378,17 @@ def _cmd_serve(args) -> int:
             flush=True,
         )
         stop.wait()
-        print("shutting down", file=sys.stderr)
+        # SIGTERM/SIGINT = rolling restart: refuse new submits, let
+        # in-flight jobs finish (or checkpoint) before closing.  Jobs
+        # still running at the deadline are requeued with the attempt
+        # refunded on close and resume from checkpoint next start.
+        print("draining", file=sys.stderr)
+        summary = server.drain(args.drain_timeout)
+        print(
+            f"shutting down ({summary['in_flight']} jobs still in "
+            f"flight)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -526,6 +539,16 @@ def _cmd_jobs(args) -> int:
                 f"# state={out['state']} next-offset={out['offset']}",
                 file=sys.stderr,
             )
+        elif args.jobs_command == "drain":
+            summary = client.drain(args.timeout)
+            drained = "drained" if summary["drained"] else "deadline hit"
+            print(
+                f"{drained}: {summary['in_flight']} jobs still in "
+                f"flight (timeout {summary['timeout']:.0f}s); new "
+                f"submits are refused with 503"
+            )
+            if not summary["drained"]:
+                return 1
     except ServeAPIError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -753,6 +776,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--runs-dir", metavar="DIR",
         help="also append finished jobs to this run-history registry",
     )
+    sv.add_argument(
+        "--max-queue-depth", type=int, default=10_000, metavar="N",
+        help="refuse new submits (503 + Retry-After) past N queued jobs",
+    )
+    sv.add_argument(
+        "--rate-limit", type=float, default=0.0, metavar="RPS",
+        help="per-client submit rate limit in requests/second "
+        "(token bucket, 429 + Retry-After on breach; 0 = off)",
+    )
+    sv.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SEC",
+        help="on SIGTERM, wait up to SEC for in-flight jobs before "
+        "checkpoint-requeueing them",
+    )
     sv.set_defaults(func=_cmd_serve)
 
     sm = sub.add_parser("submit", help="submit a job to a running server")
@@ -840,6 +877,17 @@ def build_parser() -> argparse.ArgumentParser:
     jt.add_argument("--offset", type=int, default=0,
                     help="byte offset from a previous tail")
     jt.set_defaults(func=_cmd_jobs)
+    jd = jsub.add_parser(
+        "drain",
+        help="drain the server: stop claiming, wait for in-flight "
+        "jobs, refuse new submits (exit 1 if the deadline hit)",
+    )
+    jd.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="seconds to wait for in-flight jobs (default: the "
+        "server's --drain-timeout)",
+    )
+    jd.set_defaults(func=_cmd_jobs)
 
     runs = sub.add_parser(
         "runs", help="inspect the persistent run-history registry"

@@ -78,6 +78,26 @@ TOLERANCES = {
     "throughput_jobs_per_s": (1e9, 1e9),
     "latency_p50_s": (1e9, 1e9),
     "latency_p95_s": (1e9, 1e9),
+    # Chaos-soak records (BENCH_chaos.json).  The invariant metrics are
+    # exact zeros regardless of seed — any non-zero is a correctness
+    # bug.  The outcome counts (done/failed/cancelled, kills, faults
+    # fired) depend on the seed and the timing of the chaos schedule,
+    # so they ride along as artifacts with wide-open bands.
+    "chaos_invariant_violations": (0.0, 0.0),
+    "chaos_lost_jobs": (0.0, 0.0),
+    "chaos_duplicate_terminals": (0.0, 0.0),
+    "chaos_attempt_regressions": (0.0, 0.0),
+    "chaos_orphaned_shm": (0.0, 0.0),
+    "chaos_result_mismatches": (0.0, 0.0),
+    "chaos_submitted": (1e9, 1e9),
+    "chaos_done": (1e9, 1e9),
+    "chaos_failed": (1e9, 1e9),
+    "chaos_cancelled": (1e9, 1e9),
+    "chaos_requeues": (1e9, 1e9),
+    "chaos_worker_kills": (1e9, 1e9),
+    "chaos_restarts": (1e9, 1e9),
+    "chaos_faults_fired": (1e9, 1e9),
+    "chaos_store_recoveries": (1e9, 1e9),
 }
 
 #: Fallback tolerance for metrics without an explicit entry.

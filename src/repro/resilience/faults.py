@@ -20,11 +20,20 @@ Addressing is fully deterministic: a spec ``point@n`` fires on the
 ``n``-th time that point is checked (1-based), independent of wall
 clock, thread timing, or randomness.  Unknown point names are rejected
 at parse time against :data:`FAULT_POINTS` so typos fail loudly.
+
+On top of the deterministic ``@hit`` addressing, a spec may instead
+carry a *probability*: ``point~0.05`` fires on roughly 5% of checks of
+that point, every time the draw lands (not once).  Probabilistic specs
+are what the chaos/soak harness (``benchmarks/bench_chaos.py``) arms:
+a whole schedule of them plus a ``seed=<n>`` token makes the draw
+stream reproducible — ``"serve.http_500~0.05,serve.store_write~0.02,
+seed=7"`` is one seeded randomized fault schedule.
 """
 
 from __future__ import annotations
 
 import os
+import random
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -47,6 +56,14 @@ FAULT_POINTS = {
     "checkpoint.io_error": "raise FaultInjected while writing a flow checkpoint",
     "serve.worker_exit": "hard-exit a serve worker process (os._exit) at "
     "the <hit>-th completed flow stage (crash/requeue drills)",
+    "serve.store_write": "fail a job-store write transaction with a sqlite "
+    "DatabaseError (store write-failure and recovery drills)",
+    "serve.http_500": "make the job server answer the request with a "
+    "500 (client retry drills)",
+    "serve.client_conn_reset": "drop a ServeClient request with a simulated "
+    "connection reset before it reaches the server (client retry drills)",
+    "serve.disk_full": "fail a job-store write with ENOSPC / 'disk is "
+    "full' (read-only degradation and recovery drills)",
 }
 
 ENV_VAR = "REPRO_FAULTS"
@@ -62,22 +79,47 @@ class FaultInjected(RuntimeError):
 
 @dataclass
 class FaultSpec:
-    """One armed fault: fires once, on the ``hit``-th check of ``point``."""
+    """One armed fault.
+
+    Deterministic form (``probability is None``): fires once, on the
+    ``hit``-th check of ``point``.  Probabilistic form: fires on every
+    check whose seeded draw lands under ``probability`` — repeatedly,
+    for as long as the plan is installed.
+    """
 
     point: str
     hit: int = 1
     value: str | None = None
+    probability: float | None = None
     fired: bool = False
+    fires: int = 0
 
     @staticmethod
     def parse(token: str) -> "FaultSpec":
-        """Parse one ``point[@hit][=value]`` token."""
+        """Parse one ``point[@hit][~probability][=value]`` token."""
         token = token.strip()
         value: str | None = None
         if "=" in token:
             token, _, value = token.partition("=")
+        probability: float | None = None
+        if "~" in token:
+            token, _, prob_s = token.partition("~")
+            try:
+                probability = float(prob_s)
+            except ValueError as exc:
+                raise ValueError(
+                    f"bad fault probability in {token + '~' + prob_s!r}"
+                ) from exc
+            if not 0.0 < probability <= 1.0:
+                raise ValueError(
+                    f"fault probability must be in (0, 1], got {probability}"
+                )
         hit = 1
         if "@" in token:
+            if probability is not None:
+                raise ValueError(
+                    f"fault spec {token!r} mixes @hit with ~probability"
+                )
             token, _, hit_s = token.partition("@")
             try:
                 hit = int(hit_s)
@@ -89,28 +131,46 @@ class FaultSpec:
         if point not in FAULT_POINTS:
             known = ", ".join(sorted(FAULT_POINTS))
             raise ValueError(f"unknown fault point {point!r} (known: {known})")
-        return FaultSpec(point=point, hit=hit, value=value)
+        return FaultSpec(point=point, hit=hit, value=value,
+                         probability=probability)
 
 
 class FaultPlan:
-    """A set of armed faults plus per-point hit counters (thread-safe)."""
+    """A set of armed faults plus per-point hit counters (thread-safe).
 
-    def __init__(self, specs: list[FaultSpec]):
+    ``seed`` makes probabilistic (``~p``) specs reproducible: the same
+    plan checked in the same order draws the same fire/no-fire stream.
+    """
+
+    def __init__(self, specs: list[FaultSpec], *, seed: int | None = None):
         self._specs: dict[str, list[FaultSpec]] = {}
         for spec in specs:
             self._specs.setdefault(spec.point, []).append(spec)
         self._hits: dict[str, int] = {}
+        self._rng = random.Random(seed)
         self._lock = threading.Lock()
 
     @staticmethod
-    def parse(text: str) -> "FaultPlan":
-        """Build a plan from a ``REPRO_FAULTS``-style spec string."""
-        specs = [
-            FaultSpec.parse(token)
-            for token in text.split(",")
-            if token.strip()
-        ]
-        return FaultPlan(specs)
+    def parse(text: str, *, seed: int | None = None) -> "FaultPlan":
+        """Build a plan from a ``REPRO_FAULTS``-style spec string.
+
+        A ``seed=<n>`` token inside the text seeds the probabilistic
+        draw stream (it wins over the ``seed`` argument), so one string
+        carries a whole reproducible randomized schedule.
+        """
+        specs = []
+        for token in text.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if token.startswith("seed="):
+                try:
+                    seed = int(token[5:])
+                except ValueError as exc:
+                    raise ValueError(f"bad fault plan seed in {token!r}") from exc
+                continue
+            specs.append(FaultSpec.parse(token))
+        return FaultPlan(specs, seed=seed)
 
     def has(self, point: str) -> bool:
         """Whether any (fired or unfired) fault is armed at ``point``."""
@@ -125,14 +185,26 @@ class FaultPlan:
             count = self._hits.get(point, 0) + 1
             self._hits[point] = count
             for spec in specs:
-                if not spec.fired and spec.hit == count:
+                if spec.probability is not None:
+                    if self._rng.random() < spec.probability:
+                        spec.fired = True
+                        spec.fires += 1
+                        return spec
+                elif not spec.fired and spec.hit == count:
                     spec.fired = True
+                    spec.fires += 1
                     return spec
         return None
 
     def fired(self) -> list[FaultSpec]:
         """All specs that have fired so far."""
         return [s for specs in self._specs.values() for s in specs if s.fired]
+
+    def fire_count(self) -> int:
+        """Total fault firings so far (probabilistic specs count each)."""
+        return sum(
+            s.fires for specs in self._specs.values() for s in specs
+        )
 
 
 # -- global plan ------------------------------------------------------------

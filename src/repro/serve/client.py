@@ -1,68 +1,208 @@
-"""Thin urllib client for the serve HTTP API (stdlib only).
+"""Resilient urllib client for the serve HTTP API (stdlib only).
 
 Everything the CLI, the load-test bench, and the CI smoke job need to
 talk to a :class:`~repro.serve.server.JobServer`: submit, poll, tail
-the live trace, cancel, and wait for terminal states.  Errors come
-back as :class:`ServeAPIError` carrying the HTTP status and the
-server's ``error`` message.
+the live trace, cancel, drain, and wait for terminal states.  Errors
+come back as :class:`ServeAPIError` carrying the HTTP status, the
+server's ``error`` message (or the raw body when the response is not
+JSON — a proxy's HTML error page must not vanish into ``HTTP 502``),
+and any ``Retry-After`` the server sent.
+
+The client is built for an overloaded or restarting server:
+
+* every request retries *transient* failures — connection errors
+  (status 0), 429, and 5xx — with capped exponential backoff and full
+  jitter, honoring ``Retry-After`` when present.  The injected fault
+  points never fire after a store write, and real connection failures
+  happen before one, so retrying a submit cannot duplicate a job.
+* the polling loops (:meth:`wait`, :meth:`wait_all`,
+  :meth:`follow_trace`/:meth:`stream`) additionally tolerate transient
+  errors until *their own* deadline, so they survive a server restart
+  that outlasts the per-request retry budget.
+* :meth:`wait_all` pages through ``/jobs`` (the server clamps
+  ``limit``), so waiting on more jobs than one page holds cannot
+  silently miss any.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
 from urllib.parse import quote, urlencode
 
+from repro.resilience.faults import check_fault
 from repro.serve.schema import TERMINAL_STATES
+
+#: The server's hard cap on ``GET /jobs?limit=`` (keep in sync with
+#: :data:`repro.serve.server.MAX_LIST_LIMIT`).
+LIST_PAGE = 1000
 
 
 class ServeAPIError(RuntimeError):
     """An HTTP-level failure talking to the job server."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, *,
+                 body: str | None = None,
+                 retry_after: float | None = None):
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
         self.message = message
+        #: Raw response body (useful when the server spoke non-JSON).
+        self.body = body
+        #: Parsed ``Retry-After`` seconds, when the server sent one.
+        self.retry_after = retry_after
+
+    @property
+    def transient(self) -> bool:
+        """Whether retrying later may succeed (conn error, 429, 5xx)."""
+        return self.status == 0 or self.status == 429 or self.status >= 500
 
 
 class ServeClient:
     """JSON-over-HTTP client for one job server."""
 
-    def __init__(self, url: str, *, timeout: float = 30.0):
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 30.0,
+        retries: int = 4,
+        backoff: float = 0.25,
+        max_backoff: float = 4.0,
+        client_id: str | None = None,
+    ):
         self.url = url.rstrip("/")
         self.timeout = timeout
+        #: Transparent retries per request on transient failures.
+        self.retries = max(0, int(retries))
+        self.backoff = float(backoff)
+        self.max_backoff = float(max_backoff)
+        #: Sent as ``X-Client-Id`` — the server's rate-limit key.
+        self.client_id = client_id
 
     # -- plumbing ------------------------------------------------------
     def _request(
-        self, method: str, path: str, body: dict | None = None
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        *,
+        retry: bool = True,
+        request_timeout: float | None = None,
     ) -> dict:
+        attempts = (self.retries if retry else 0) + 1
+        for attempt in range(attempts):
+            try:
+                return self._request_once(
+                    method, path, body, request_timeout=request_timeout
+                )
+            except ServeAPIError as exc:
+                if not exc.transient or attempt + 1 >= attempts:
+                    raise
+                # Capped exponential backoff with full jitter; a
+                # server-sent Retry-After is a floor, not a suggestion.
+                delay = random.random() * min(
+                    self.max_backoff, self.backoff * (2 ** attempt)
+                )
+                if exc.retry_after is not None:
+                    delay = max(delay, float(exc.retry_after))
+                time.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        body: dict | None,
+        *,
+        request_timeout: float | None = None,
+    ) -> dict:
+        if check_fault("serve.client_conn_reset") is not None:
+            # Simulated network failure *before* the request is sent,
+            # so a retried submit can never have reached the server.
+            raise ServeAPIError(
+                0,
+                "connection reset by peer "
+                "(injected fault: serve.client_conn_reset)",
+            )
         data = None
         headers = {"Accept": "application/json"}
+        if self.client_id:
+            headers["X-Client-Id"] = self.client_id
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
         req = urllib.request.Request(
             self.url + path, data=data, headers=headers, method=method
         )
+        timeout = self.timeout if request_timeout is None else request_timeout
         try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
                 return json.loads(resp.read().decode("utf-8"))
         except urllib.error.HTTPError as exc:
-            try:
-                detail = json.loads(exc.read().decode("utf-8"))
-                message = detail.get("error", str(exc))
-            except (ValueError, UnicodeDecodeError):
-                message = str(exc)
-            raise ServeAPIError(exc.code, message) from None
+            raise self._http_error(exc) from None
         except urllib.error.URLError as exc:
-            raise ServeAPIError(0, f"cannot reach {self.url}: {exc.reason}") \
-                from None
+            raise ServeAPIError(
+                0, f"cannot reach {self.url}: {exc.reason}"
+            ) from None
+        except OSError as exc:
+            # Resets mid-read and socket timeouts surface as bare
+            # OSErrors, not URLError.
+            raise ServeAPIError(
+                0, f"cannot reach {self.url}: {exc}"
+            ) from None
+
+    def _http_error(self, exc: urllib.error.HTTPError) -> ServeAPIError:
+        raw = b""
+        try:
+            raw = exc.read()
+        except OSError:
+            pass
+        text = raw.decode("utf-8", "replace")
+        retry_after: float | None = None
+        header = exc.headers.get("Retry-After") if exc.headers else None
+        if header:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                pass
+        message: str | None = None
+        try:
+            detail = json.loads(text)
+        except ValueError:
+            detail = None
+        if isinstance(detail, dict) and "error" in detail:
+            message = str(detail["error"])
+            if retry_after is None and detail.get("retry_after") is not None:
+                retry_after = float(detail["retry_after"])
+        if message is None:
+            # Non-JSON error (a proxy page, a half-written response):
+            # surface the status plus the raw body instead of eating it.
+            snippet = " ".join(text.split())[:200]
+            message = snippet or str(exc.reason or exc)
+        return ServeAPIError(
+            exc.code, message, body=text or None, retry_after=retry_after
+        )
 
     # -- API -----------------------------------------------------------
     def health(self) -> dict:
         return self._request("GET", "/health")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def ready(self) -> bool:
+        """Whether ``/readyz`` reports ready (False on 503)."""
+        try:
+            self._request("GET", "/readyz", retry=False)
+        except ServeAPIError as exc:
+            if exc.status == 503:
+                return False
+            raise
+        return True
 
     def submit(
         self,
@@ -88,12 +228,37 @@ class ServeClient:
     def cancel(self, job_id: str) -> dict:
         return self._request("POST", f"/jobs/{quote(job_id)}/cancel")
 
-    def list(self, *, state: str | None = None, limit: int = 100) -> list:
-        query = {"limit": limit}
+    def drain(self, timeout: float | None = None) -> dict:
+        """Drain the server (blocks while it waits for in-flight jobs)."""
+        body: dict = {}
+        if timeout is not None:
+            body["timeout"] = float(timeout)
+        wait = 60.0 if timeout is None else float(timeout) + 30.0
+        return self._request(
+            "POST", "/drain", body,
+            retry=False, request_timeout=max(wait, self.timeout),
+        )
+
+    def list(self, *, state: str | None = None, limit: int = 100,
+             offset: int = 0) -> list:
+        query: dict = {"limit": limit}
         if state:
             query["state"] = state
+        if offset:
+            query["offset"] = offset
         path = "/jobs?" + urlencode(query)
         return self._request("GET", path)["jobs"]
+
+    def list_all(self, *, state: str | None = None) -> list:
+        """Every record, paging past the server's ``limit`` clamp."""
+        out: list = []
+        offset = 0
+        while True:
+            page = self.list(state=state, limit=LIST_PAGE, offset=offset)
+            out.extend(page)
+            if len(page) < LIST_PAGE:
+                return out
+            offset += len(page)
 
     def tail_trace(self, job_id: str, *, offset: int = 0) -> dict:
         path = f"/jobs/{quote(job_id)}/trace?" + urlencode(
@@ -109,16 +274,28 @@ class ServeClient:
         timeout: float = 300.0,
         poll: float = 0.25,
     ) -> dict:
-        """Block until the job reaches a terminal state; returns it."""
+        """Block until the job reaches a terminal state; returns it.
+
+        Transient API failures (the server restarting, 5xx, 429) are
+        tolerated until the deadline — only the deadline or a
+        non-transient error ends the wait early.
+        """
         deadline = time.monotonic() + timeout
+        state = "unknown"
         while True:
-            record = self.get(job_id)
-            if record["state"] in TERMINAL_STATES:
+            try:
+                record = self.get(job_id)
+            except ServeAPIError as exc:
+                if not exc.transient or time.monotonic() > deadline:
+                    raise
+                time.sleep(poll)
+                continue
+            state = record["state"]
+            if state in TERMINAL_STATES:
                 return record
             if time.monotonic() > deadline:
                 raise TimeoutError(
-                    f"job {job_id} still {record['state']} "
-                    f"after {timeout:.0f}s"
+                    f"job {job_id} still {state} after {timeout:.0f}s"
                 )
             time.sleep(poll)
 
@@ -131,24 +308,27 @@ class ServeClient:
     ) -> dict:
         """Wait for many jobs; returns ``{job_id: final record}``.
 
-        Polls via ``/jobs`` listings (one request per sweep, not one
-        per job) so waiting on hundreds of jobs stays cheap.
+        Sweeps via paged ``/jobs`` listings (a handful of requests per
+        sweep, not one per job), with a per-id ``get`` fallback for
+        anything a listing missed, and survives server restarts
+        mid-wait like :meth:`wait` does.
         """
         pending = set(job_ids)
         done: dict = {}
         deadline = time.monotonic() + timeout
         while pending:
-            listed = {
-                r["job_id"]: r
-                for r in self.list(limit=max(1000, len(job_ids) * 2))
-            }
-            for job_id in list(pending):
-                record = listed.get(job_id)
-                if record is None:
-                    record = self.get(job_id)
-                if record["state"] in TERMINAL_STATES:
-                    done[job_id] = record
-                    pending.discard(job_id)
+            try:
+                listed = {r["job_id"]: r for r in self.list_all()}
+                for job_id in list(pending):
+                    record = listed.get(job_id)
+                    if record is None:
+                        record = self.get(job_id)
+                    if record["state"] in TERMINAL_STATES:
+                        done[job_id] = record
+                        pending.discard(job_id)
+            except ServeAPIError as exc:
+                if not exc.transient or time.monotonic() > deadline:
+                    raise
             if pending:
                 if time.monotonic() > deadline:
                     raise TimeoutError(
@@ -165,11 +345,22 @@ class ServeClient:
         timeout: float = 300.0,
         poll: float = 0.2,
     ):
-        """Yield trace lines live until the job goes terminal."""
+        """Yield trace lines live until the job goes terminal.
+
+        Survives a server restart mid-stream: transient failures wait
+        and re-poll, and the server resets the offset when a new
+        attempt started a fresh trace file.
+        """
         offset = 0
         deadline = time.monotonic() + timeout
         while True:
-            out = self.tail_trace(job_id, offset=offset)
+            try:
+                out = self.tail_trace(job_id, offset=offset)
+            except ServeAPIError as exc:
+                if not exc.transient or time.monotonic() > deadline:
+                    raise
+                time.sleep(poll)
+                continue
             offset = out["offset"]
             yield from out["lines"]
             if out["state"] in TERMINAL_STATES:
@@ -181,3 +372,7 @@ class ServeClient:
             if time.monotonic() > deadline:
                 raise TimeoutError(f"job {job_id} trace stream timed out")
             time.sleep(poll)
+
+    # ``follow_trace`` is the operator-facing name (docs, CLI); it is
+    # the same generator as :meth:`stream`.
+    follow_trace = stream

@@ -39,7 +39,7 @@ import time
 from dataclasses import asdict, dataclass, field
 
 from repro.obs import get_logger
-from repro.serve.store import JobStore
+from repro.serve.store import JobStore, JobStoreError
 from repro.serve.worker import worker_loop
 
 _log = get_logger("serve.engine")
@@ -70,6 +70,18 @@ class ServeSettings:
     runs_dir: str | None = None
     #: Default max_retries for submissions that do not specify one.
     default_max_retries: int = 2
+    #: Admission control: new submits are refused (503 + Retry-After)
+    #: once this many jobs are queued.  ``/readyz`` reports not-ready
+    #: at 80% of this (the high-watermark), so load balancers back off
+    #: before the hard refusal kicks in.
+    max_queue_depth: int = 10_000
+    #: Per-client submit rate, requests/second (token bucket; 0 = off).
+    rate_limit: float = 0.0
+    #: Token-bucket burst for the rate limiter (0 = twice the rate).
+    rate_burst: float = 0.0
+    #: Default seconds :meth:`WorkerSupervisor.drain` waits for
+    #: in-flight jobs before leaving them to checkpoint-requeue.
+    drain_timeout: float = 30.0
 
     def worker_settings(self, parent_pid: int) -> dict:
         out = asdict(self)
@@ -111,6 +123,7 @@ class WorkerSupervisor:
         self._cancels: dict[str, _CancelWatch] = {}
         self._started = False
         self._closed = False
+        self._draining = False
         #: Requeues/respawns performed, for bench/health reporting.
         self.requeues = 0
         self.respawns = 0
@@ -120,6 +133,13 @@ class WorkerSupervisor:
         if self._started:
             return
         self._started = True
+        self._draining = False
+        try:
+            # A previous process may have died mid-drain; a fresh
+            # supervisor serves.
+            self.store.set_draining(False)
+        except JobStoreError as exc:
+            _log.warning("could not clear drain flag on start: %s", exc)
         for record in self.store.running():
             # Leftovers from a previous server process: their workers
             # are gone (or never ours); give the jobs back to the queue
@@ -181,6 +201,54 @@ class WorkerSupervisor:
             self.requeues += 1
         self._procs = []
 
+    def drain(self, timeout: float | None = None) -> dict:
+        """Graceful drain: stop claiming, wait for in-flight jobs.
+
+        Raises the store's drain flag — workers stop claiming (the flag
+        lives in the database, so it reaches every worker *process*)
+        and the server starts refusing new submits with 503 — then
+        waits up to ``timeout`` seconds for running jobs to finish.
+        Jobs still in flight at the deadline are not killed here:
+        :meth:`close` SIGTERMs their workers, which checkpoint and
+        requeue them with the attempt refunded, so a restarted engine
+        resumes them bit-identically.  Idempotent; returns a summary.
+        """
+        if timeout is None:
+            timeout = self.settings.drain_timeout
+        self._draining = True
+        try:
+            self.store.set_draining(True)
+        except JobStoreError as exc:
+            # Workers will not see the flag, but the in-process server
+            # still refuses submits via the ``draining`` property.
+            _log.warning("drain: could not raise store flag: %s", exc)
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        while time.monotonic() < deadline:
+            if not self.store.running():
+                break
+            time.sleep(min(0.1, self.settings.monitor_interval))
+        in_flight = len(self.store.running())
+        _log.info(
+            "drain finished: %d jobs still in flight (timeout %.1fs)",
+            in_flight, float(timeout),
+        )
+        return {
+            "draining": True,
+            "timeout": float(timeout),
+            "in_flight": in_flight,
+            "drained": in_flight == 0,
+        }
+
+    @property
+    def draining(self) -> bool:
+        """Whether a drain was requested (here or by another process)."""
+        if self._draining:
+            return True
+        try:
+            return self.store.draining()
+        except JobStoreError:
+            return False
+
     def __enter__(self) -> "WorkerSupervisor":
         self.start()
         return self
@@ -201,6 +269,7 @@ class WorkerSupervisor:
             ],
             "requeues": self.requeues,
             "respawns": self.respawns,
+            "draining": self._draining,
         }
 
     # -- the reliability loop ------------------------------------------
@@ -304,6 +373,8 @@ class WorkerSupervisor:
             pass
 
     def _respawn_dead_workers(self) -> None:
+        if self._draining:
+            return  # capacity is winding down; do not replace workers
         for i, proc in enumerate(self._procs):
             if not proc.is_alive():
                 proc.join(timeout=0.1)

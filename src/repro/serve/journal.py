@@ -1,0 +1,204 @@
+"""The job store's append-only JSONL journal and its invariant checker.
+
+Every committed :class:`~repro.serve.store.JobStore` mutation (except
+heartbeats, which carry no lifecycle information) appends one line to
+``journal.jsonl`` under the serve root::
+
+    {"t": ..., "op": "claim", "job": "<id>", "seq": 3,
+     "state": "running", "attempts": 1, "refund": false,
+     "record": {...full job record...}}
+
+``seq`` is the job row's per-record mutation counter, bumped inside the
+same ``BEGIN IMMEDIATE`` transaction as the write it describes, so the
+per-job order of journal lines is recoverable even when appends from
+different worker processes interleave in the file.
+
+The journal serves two purposes:
+
+* **Rebuild.**  When the SQLite database is corrupted (failed
+  ``PRAGMA quick_check``, a ``DatabaseError`` on mutation), the store
+  quarantines it and re-creates the queue from the journal: the
+  highest-``seq`` record per job wins (:func:`replay`).  Terminal
+  states survive; a job caught mid-run comes back as the supervisor
+  left it and is requeued by the normal orphan/stale machinery.
+* **Auditing.**  :func:`check_invariants` is the chaos harness's gate
+  (``benchmarks/bench_chaos.py``): every submitted job reaches a
+  terminal state exactly once, nothing is written after a terminal
+  state, and attempt counts never regress except through an explicit
+  refund (orderly shutdown / orphan requeues).
+
+Appends are single ``write`` calls on an ``O_APPEND`` descriptor, so
+concurrent writers never interleave within one line.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+
+from repro.serve.schema import TERMINAL_STATES
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+class JobJournal:
+    """Append-only JSONL journal of job-store mutations."""
+
+    def __init__(self, root):
+        self.root = str(root)
+        self.path = os.path.join(self.root, JOURNAL_NAME)
+
+    def append(self, entry: dict) -> None:
+        """Append one entry (raises ``OSError`` e.g. on a full disk)."""
+        line = json.dumps(entry, sort_keys=True)
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, line.encode("utf-8") + b"\n")
+        finally:
+            os.close(fd)
+
+    def entries(self) -> list[dict]:
+        """All parseable journal entries, in file order.
+
+        A torn final line (a writer died mid-append, the disk filled)
+        is skipped rather than fatal — the journal must stay readable
+        exactly when things went wrong.
+        """
+        if not os.path.exists(self.path):
+            return []
+        out: list[dict] = []
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(entry, dict) and entry.get("job"):
+                    out.append(entry)
+        return out
+
+    def latest(self) -> dict:
+        """``{job_id: (seq, record)}`` — the latest record per job.
+
+        Latest means highest ``seq``; ties (and entries missing a seq)
+        resolve to the later file position.  The seq rides along so a
+        rebuild can seed the row's mutation counter past everything
+        already journaled.
+        """
+        best: dict[str, tuple[int, int, dict]] = {}
+        for pos, entry in enumerate(self.entries()):
+            record = entry.get("record")
+            if not isinstance(record, dict):
+                continue
+            job_id = entry["job"]
+            key = (int(entry.get("seq", 0)), pos)
+            if job_id not in best or key > best[job_id][:2]:
+                best[job_id] = (key[0], key[1], record)
+        return {job_id: (seq, rec) for job_id, (seq, _, rec) in best.items()}
+
+    def replay(self) -> dict:
+        """``{job_id: record}`` — :meth:`latest` without the seqs."""
+        return {job_id: rec for job_id, (_, rec) in self.latest().items()}
+
+
+def entry_for(op: str, record: dict, *, seq: int, now: float,
+              refund: bool = False) -> dict:
+    """Build one journal entry for a committed mutation."""
+    return {
+        "t": now,
+        "op": op,
+        "job": record["job_id"],
+        "seq": int(seq),
+        "state": record["state"],
+        "attempts": int(record["attempts"]),
+        "refund": bool(refund),
+        "record": record,
+    }
+
+
+def check_invariants(journal: "JobJournal | str",
+                     *, expect_submitted: int | None = None) -> list[str]:
+    """Audit a journal; returns human-readable violations (empty = ok).
+
+    Checked per job, over entries ordered by ``seq``:
+
+    * exactly one ``submit`` entry, and it comes first;
+    * the job reaches a terminal state **exactly once** (when it
+      reaches one at all — pass ``expect_submitted`` to also require
+      that every job terminated);
+    * nothing is written after the terminal entry;
+    * ``attempts`` never decreases except on a refund requeue, and
+      never jumps by more than one.
+    """
+    if isinstance(journal, str):
+        journal = JobJournal(os.path.dirname(journal) or ".")
+    violations: list[str] = []
+    per_job: dict[str, list[dict]] = {}
+    for entry in journal.entries():
+        per_job.setdefault(entry["job"], []).append(entry)
+
+    terminated = 0
+    for job_id, entries in per_job.items():
+        entries.sort(key=lambda e: int(e.get("seq", 0)))
+        submits = [e for e in entries if e.get("op") == "submit"]
+        if len(submits) != 1:
+            violations.append(
+                f"{job_id}: {len(submits)} submit entries (expected 1)"
+            )
+        elif entries[0] is not submits[0]:
+            violations.append(f"{job_id}: submit is not the first entry")
+        terminal_seen = 0
+        prev_attempts: int | None = None
+        for entry in entries:
+            attempts = int(entry.get("attempts", 0))
+            if terminal_seen:
+                violations.append(
+                    f"{job_id}: entry op={entry.get('op')!r} "
+                    f"seq={entry.get('seq')} written after a terminal state"
+                )
+            if entry.get("state") in TERMINAL_STATES:
+                terminal_seen += 1
+            if prev_attempts is not None:
+                if attempts < prev_attempts and not entry.get("refund"):
+                    violations.append(
+                        f"{job_id}: attempts regressed {prev_attempts} -> "
+                        f"{attempts} without a refund "
+                        f"(op={entry.get('op')!r})"
+                    )
+                elif attempts > prev_attempts + 1:
+                    violations.append(
+                        f"{job_id}: attempts jumped {prev_attempts} -> "
+                        f"{attempts} (op={entry.get('op')!r})"
+                    )
+            prev_attempts = attempts
+        if terminal_seen > 1:
+            violations.append(
+                f"{job_id}: reached a terminal state {terminal_seen} times"
+            )
+        if terminal_seen:
+            terminated += 1
+
+    if expect_submitted is not None:
+        if len(per_job) != expect_submitted:
+            violations.append(
+                f"journal holds {len(per_job)} jobs, expected "
+                f"{expect_submitted} submitted"
+            )
+        not_terminal = len(per_job) - terminated
+        if not_terminal:
+            violations.append(
+                f"{not_terminal} jobs never reached a terminal state"
+            )
+    return violations
+
+
+def is_disk_full(exc: BaseException) -> bool:
+    """Whether ``exc`` is an out-of-space failure (sqlite or OS level)."""
+    if isinstance(exc, OSError) and exc.errno == errno.ENOSPC:
+        return True
+    return "disk is full" in str(exc).lower()

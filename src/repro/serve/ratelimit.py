@@ -1,0 +1,109 @@
+"""Admission control primitives for the job server.
+
+Two small, dependency-free pieces:
+
+* :class:`TokenBucket` — the classic refill-at-``rate``, hold-at-most-
+  ``burst`` token bucket.  ``try_take`` either grants one token (returns
+  ``0.0``) or returns the seconds until the next token exists — exactly
+  the value the server puts in ``Retry-After``.
+* :class:`RateLimiter` — a thread-safe map of client key (the
+  ``X-Client-Id`` header when present, the peer address otherwise) to
+  its bucket, with idle-bucket pruning so a long-lived server does not
+  accumulate one bucket per ephemeral client forever.
+
+The server composes these with a queue high-watermark check into the
+contract documented in ``docs/serving.md``: per-client quota breach →
+429 with ``Retry-After``; queue at capacity (or draining, or store
+read-only) → 503 with ``Retry-After``.  Both are *admission* failures:
+nothing was stored, and the client may simply retry later —
+:class:`~repro.serve.client.ServeClient` does so automatically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class TokenBucket:
+    """Token bucket: ``rate`` tokens/second, at most ``burst`` held."""
+
+    def __init__(self, rate: float, burst: float, *,
+                 now: float | None = None):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = time.monotonic() if now is None else float(now)
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._stamp)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_take(self, *, now: float | None = None) -> float:
+        """Take one token; ``0.0`` on success, else seconds to wait."""
+        now = time.monotonic() if now is None else float(now)
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class RateLimiter:
+    """Per-client token buckets (thread-safe; idle buckets pruned).
+
+    ``rate <= 0`` disables limiting: ``check`` always grants.
+    """
+
+    #: Drop a client's bucket after this long without a request.  Must
+    #: exceed the time a full bucket takes to refill, so pruning can
+    #: never *grant* tokens a live bucket would still be denying.
+    IDLE_SECONDS = 300.0
+
+    def __init__(self, rate: float, burst: float | None = None):
+        self.rate = float(rate)
+        self.burst = float(burst) if burst else max(1.0, 2.0 * self.rate)
+        self._buckets: dict[str, TokenBucket] = {}
+        self._seen: dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def check(self, client: str, *, now: float | None = None) -> float:
+        """One admission check for ``client``: ``0.0`` = admitted,
+        otherwise the ``Retry-After`` seconds."""
+        if not self.enabled:
+            return 0.0
+        now = time.monotonic() if now is None else float(now)
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst, now=now)
+                self._buckets[client] = bucket
+            self._seen[client] = now
+            retry = bucket.try_take(now=now)
+            if len(self._buckets) > 64:
+                self._prune(now)
+            return retry
+
+    def _prune(self, now: float) -> None:
+        for key, seen in list(self._seen.items()):
+            if now - seen > self.IDLE_SECONDS:
+                self._buckets.pop(key, None)
+                self._seen.pop(key, None)
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "rate": self.rate,
+                "burst": self.burst,
+                "clients": len(self._buckets),
+            }

@@ -7,11 +7,23 @@ server — into one placement-as-a-service endpoint.  The API is plain
 JSON over HTTP (see ``docs/serving.md``):
 
 ====================  =====================================================
-``GET  /health``      server + worker liveness, queue counts
+``GET  /health``      server + worker liveness, queue counts, drain and
+                      store state
+``GET  /healthz``     liveness only (200 while the process serves)
+``GET  /readyz``      readiness: store writable, supervisor alive,
+                      queue below the high-watermark, not draining;
+                      503 + reasons otherwise
 ``POST /jobs``        submit a job; body ``{"design": {...}, "options":
                       {...}, "priority": n, "max_retries": n}``; 201 +
-                      the stored record
-``GET  /jobs``        list records (``?state=queued&limit=50``)
+                      the stored record.  Refused with 429 (per-client
+                      quota, ``Retry-After``) or 503 (queue full,
+                      draining, store read-only — also ``Retry-After``)
+``POST /drain``       drain the engine: stop claiming, wait for
+                      in-flight jobs (``{"timeout": s}``), refuse new
+                      submits from now on
+``GET  /jobs``        list records (``?state=queued&limit=50&offset=0``;
+                      ``limit`` is clamped to 1000 — page via
+                      ``offset``)
 ``GET  /jobs/<id>``   one record (unique id prefix accepted)
 ``GET  /jobs/<id>/result``  result summary; 409 while not terminal
 ``POST /jobs/<id>/cancel``  cancel (immediate if queued, cooperative if
@@ -19,6 +31,12 @@ JSON over HTTP (see ``docs/serving.md``):
 ``GET  /jobs/<id>/trace?offset=N``  tail the live attempt trace from
                       byte ``N``; returns new offset + JSONL lines
 ====================  =====================================================
+
+Overload behavior is contractual (see ``docs/serving.md``): every 429
+and every overload 503 carries a ``Retry-After`` header, and
+:class:`~repro.serve.client.ServeClient` honors it.  Rate limiting
+keys on the ``X-Client-Id`` header when the client sends one, the
+peer address otherwise.
 
 Progress streaming is pull-based tailing of each job's
 :class:`~repro.obs.bus.JsonlStreamSink` file: the worker appends
@@ -37,14 +55,27 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.obs import get_logger
 from repro.obs.schema import SchemaError
+from repro.resilience.faults import check_fault
 from repro.serve.engine import ServeSettings, WorkerSupervisor
+from repro.serve.ratelimit import RateLimiter
 from repro.serve.schema import TERMINAL_STATES
-from repro.serve.store import JobStore, JobStoreError
+from repro.serve.store import (
+    JobStore,
+    JobStoreError,
+    JobStoreReadOnly,
+    JobStoreWriteError,
+)
 
 _log = get_logger("serve.server")
 
 #: Submission body size cap (a benchgen spec is tiny; 1 MiB is generous).
 MAX_BODY_BYTES = 1 << 20
+
+#: Hard cap on ``GET /jobs?limit=``; clients page with ``offset``.
+MAX_LIST_LIMIT = 1000
+
+#: ``/readyz`` reports not-ready at this fraction of ``max_queue_depth``.
+QUEUE_HIGH_WATERMARK = 0.8
 
 
 class JobServer:
@@ -62,6 +93,9 @@ class JobServer:
         self.settings = settings or ServeSettings()
         self.store = JobStore(self.root)
         self.supervisor = WorkerSupervisor(self.root, self.settings)
+        self.ratelimit = RateLimiter(
+            self.settings.rate_limit, self.settings.rate_burst or None
+        )
         handler = _make_handler(self)
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
@@ -116,7 +150,75 @@ class JobServer:
             "root": self.root,
             "queue": self.store.counts(),
             "supervisor": self.supervisor.describe(),
+            "draining": self.supervisor.draining,
+            "read_only": self.store.read_only,
+            "ratelimit": self.ratelimit.describe(),
         }
+
+    def readiness(self) -> tuple[bool, dict]:
+        """``(ready, payload)`` behind ``GET /readyz``.
+
+        Ready means: not draining, the store accepts writes (a real
+        probe write, not just the flag), live workers exist when any
+        were configured, and the queue sits below the high-watermark
+        (80% of ``max_queue_depth``) — so balancers stop routing here
+        *before* submits start bouncing with 503.
+        """
+        reasons: list[str] = []
+        if self.supervisor.draining:
+            reasons.append("draining")
+        if not self.store.writable(probe=True):
+            reasons.append("store is not writable")
+        if (
+            self.settings.workers > 0
+            and self.supervisor._started
+            and not self.supervisor.worker_pids()
+        ):
+            reasons.append("no live workers")
+        queued = self.store.counts().get("queued", 0)
+        watermark = max(
+            1, int(self.settings.max_queue_depth * QUEUE_HIGH_WATERMARK)
+        )
+        if queued >= watermark:
+            reasons.append(
+                f"queue above high-watermark ({queued} >= {watermark})"
+            )
+        return (
+            not reasons,
+            {"ready": not reasons, "reasons": reasons, "queued": queued},
+        )
+
+    def admit(self, client: str) -> tuple[int, str, float] | None:
+        """Admission check for one submit.
+
+        ``None`` admits; otherwise ``(status, message, retry_after)``
+        per the overload contract: 503 while draining or with the
+        queue at ``max_queue_depth``, 429 on a per-client quota breach.
+        (A read-only store is not pre-checked here — the submit itself
+        raises :class:`JobStoreReadOnly`, mapped to 503, which lets the
+        store's self-heal probe run.)
+        """
+        if self.supervisor.draining:
+            return (503, "draining; not accepting new jobs", 2.0)
+        retry = self.ratelimit.check(client)
+        if retry > 0.0:
+            return (
+                429,
+                f"rate limit exceeded for client {client!r}",
+                retry,
+            )
+        queued = self.store.counts().get("queued", 0)
+        if queued >= self.settings.max_queue_depth:
+            return (
+                503,
+                f"queue is full ({queued}/{self.settings.max_queue_depth})",
+                2.0,
+            )
+        return None
+
+    def drain(self, timeout: float | None = None) -> dict:
+        """Drain the engine (see :meth:`WorkerSupervisor.drain`)."""
+        return self.supervisor.drain(timeout)
 
     def submit(self, body: dict) -> dict:
         design = body.get("design")
@@ -168,16 +270,33 @@ def _make_handler(server: JobServer):
         def log_message(self, fmt, *args):  # noqa: A003 - http.server API
             _log.debug("%s " + fmt, self.address_string(), *args)
 
-        def _reply(self, status: int, payload: dict) -> None:
+        def _reply(self, status: int, payload: dict, *,
+                   headers: dict | None = None) -> None:
             blob = json.dumps(payload, sort_keys=True).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(blob)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(blob)
 
-        def _error(self, status: int, message: str) -> None:
-            self._reply(status, {"error": message})
+        def _error(self, status: int, message: str, *,
+                   retry_after: float | None = None) -> None:
+            headers = None
+            payload: dict = {"error": message}
+            if retry_after is not None:
+                # Whole seconds, rounded up — the header is integral.
+                seconds = max(1, int(-(-float(retry_after) // 1)))
+                headers = {"Retry-After": str(seconds)}
+                payload["retry_after"] = seconds
+            self._reply(status, payload, headers=headers)
+
+        def _client_key(self) -> str:
+            header = self.headers.get("X-Client-Id")
+            if header:
+                return header.strip()
+            return str(self.client_address[0])
 
         def _body(self) -> dict | None:
             length = int(self.headers.get("Content-Length") or 0)
@@ -201,14 +320,31 @@ def _make_handler(server: JobServer):
             parts = [p for p in parsed.path.split("/") if p]
             query = parse_qs(parsed.query)
             try:
+                if check_fault("serve.http_500") is not None:
+                    self._error(500, "injected fault: serve.http_500",
+                                retry_after=1.0)
+                    return
                 if parts == ["health"]:
                     self._reply(200, server.health())
+                elif parts == ["healthz"]:
+                    self._reply(200, {"ok": True})
+                elif parts == ["readyz"]:
+                    ready, payload = server.readiness()
+                    if ready:
+                        self._reply(200, payload)
+                    else:
+                        self._reply(503, payload,
+                                    headers={"Retry-After": "2"})
                 elif parts == ["jobs"]:
                     state = (query.get("state") or [None])[0]
                     limit = int((query.get("limit") or [100])[0])
+                    limit = max(1, min(limit, MAX_LIST_LIMIT))
+                    offset = max(0, int((query.get("offset") or [0])[0]))
                     self._reply(
                         200,
-                        {"jobs": server.store.list(state=state, limit=limit)},
+                        {"jobs": server.store.list(
+                            state=state, limit=limit, offset=offset
+                        )},
                     )
                 elif len(parts) == 2 and parts[0] == "jobs":
                     self._reply(200, server.store.get(parts[1]))
@@ -228,6 +364,8 @@ def _make_handler(server: JobServer):
                     self._reply(200, server.tail_trace(parts[1], offset))
                 else:
                     self._error(404, f"no route {parsed.path!r}")
+            except (JobStoreReadOnly, JobStoreWriteError) as exc:
+                self._error(503, str(exc), retry_after=5.0)
             except JobStoreError as exc:
                 self._error(404, str(exc))
             except ValueError as exc:
@@ -237,11 +375,32 @@ def _make_handler(server: JobServer):
             parsed = urlparse(self.path)
             parts = [p for p in parsed.path.split("/") if p]
             try:
+                if check_fault("serve.http_500") is not None:
+                    self._error(500, "injected fault: serve.http_500",
+                                retry_after=1.0)
+                    return
                 if parts == ["jobs"]:
+                    refusal = server.admit(self._client_key())
+                    if refusal is not None:
+                        status, message, retry_after = refusal
+                        self._error(status, message,
+                                    retry_after=retry_after)
+                        return
                     body = self._body()
                     if body is None:
                         return
                     self._reply(201, server.submit(body))
+                elif parts == ["drain"]:
+                    body = self._body()
+                    if body is None:
+                        return
+                    timeout = body.get("timeout")
+                    self._reply(
+                        200,
+                        server.drain(
+                            None if timeout is None else float(timeout)
+                        ),
+                    )
                 elif len(parts) == 3 and parts[0] == "jobs" \
                         and parts[2] == "cancel":
                     self._reply(
@@ -249,6 +408,10 @@ def _make_handler(server: JobServer):
                     )
                 else:
                     self._error(404, f"no route {parsed.path!r}")
+            except (JobStoreReadOnly, JobStoreWriteError) as exc:
+                # Degraded or transiently failing store: the submit was
+                # not accepted; the client retries after a beat.
+                self._error(503, str(exc), retry_after=5.0)
             except JobStoreError as exc:
                 self._error(404, str(exc))
             except SchemaError as exc:

@@ -47,12 +47,35 @@ from repro.obs import CallbackSink, JsonlStreamSink, Tracer, get_logger, use_tra
 from repro.resilience import DesignValidationError
 from repro.resilience.checkpoint import has_checkpoint
 from repro.resilience.faults import FaultPlan, check_fault, install_plan, reset_plan
-from repro.serve.store import JobStore
+from repro.serve.store import JobStore, JobStoreError
 
 _log = get_logger("serve.worker")
 
 #: Exit code used by the ``serve.worker_exit`` fault point.
 FAULT_EXIT_CODE = 86
+
+
+def _store_write(op, *args, retries: int = 5, delay: float = 0.2, **kwargs):
+    """A store mutation with short retries on transient failures.
+
+    Terminal writes (finish/fail/cancel/requeue) must not die to one
+    injected ``serve.store_write`` fault or a moment of read-only
+    degradation — a computed result would be thrown away and the job
+    re-run.  If the store stays broken past the retries the exception
+    propagates: the job keeps its stale heartbeat and the supervisor's
+    normal machinery requeues it once the store heals.
+    """
+    for attempt in range(retries):
+        try:
+            return op(*args, **kwargs)
+        except JobStoreError as exc:
+            if attempt + 1 >= retries:
+                raise
+            _log.warning(
+                "store write %s failed (%s); retrying",
+                getattr(op, "__name__", op), exc,
+            )
+            time.sleep(delay * (attempt + 1))
 
 
 class JobCancelled(BaseException):
@@ -259,7 +282,8 @@ def run_job(store: JobStore, record: dict, *, settings: dict,
     os.makedirs(job_dir, exist_ok=True)
     trace_path = os.path.join(job_dir, f"trace-attempt{attempt}.jsonl")
     checkpoint_dir = os.path.join(job_dir, "checkpoint")
-    store.set_paths(
+    _store_write(
+        store.set_paths,
         job_id,
         attempt=attempt,
         job_dir=job_dir,
@@ -307,12 +331,13 @@ def run_job(store: JobStore, record: dict, *, settings: dict,
         state.active_job = None
         beat.stop()
         tracer.close_sinks()
-        store.finish(job_id, flow_result_summary(result), attempt=attempt)
+        _store_write(store.finish, job_id, flow_result_summary(result),
+                     attempt=attempt)
     except JobCancelled:
         state.active_job = None
         beat.stop()
         tracer.close_sinks()
-        record = store.mark_cancelled(job_id, attempt=attempt)
+        record = _store_write(store.mark_cancelled, job_id, attempt=attempt)
         if record.get("state") == "cancelled":
             _log.info("job %s cancelled", job_id)
         else:
@@ -322,26 +347,34 @@ def run_job(store: JobStore, record: dict, *, settings: dict,
         state.active_job = None
         beat.stop()
         tracer.close_sinks()
-        store.requeue(job_id, "shutdown", count_attempt=False,
-                      attempt=attempt)
+        _store_write(store.requeue, job_id, "shutdown",
+                     count_attempt=False, attempt=attempt)
         raise
     except (DesignValidationError, ValueError, TypeError) as exc:
         # Deterministic input/config errors: retrying cannot help.
         state.active_job = None
         beat.stop()
         tracer.close_sinks()
-        store.fail(job_id, f"{type(exc).__name__}: {exc}", attempt=attempt)
+        _store_write(store.fail, job_id, f"{type(exc).__name__}: {exc}",
+                     attempt=attempt)
         _log.warning("job %s failed: %s", job_id, exc)
     except Exception as exc:
         state.active_job = None
         beat.stop()
         tracer.close_sinks()
-        store.requeue(
-            job_id,
-            "worker_error",
-            attempt=attempt,
-            detail={"error": f"{type(exc).__name__}: {exc}"},
-        )
+        try:
+            _store_write(
+                store.requeue,
+                job_id,
+                "worker_error",
+                attempt=attempt,
+                detail={"error": f"{type(exc).__name__}: {exc}"},
+            )
+        except JobStoreError as store_exc:
+            # The job stays "running" with a stale heartbeat; the
+            # supervisor requeues it once the store is back.
+            _log.warning("job %s: requeue failed (%s); leaving to the "
+                         "supervisor", job_id, store_exc)
         _log.warning("job %s errored (requeued if retries remain): %s",
                      job_id, exc)
     finally:
@@ -376,4 +409,11 @@ def worker_loop(root: str, worker_id: int, settings: dict) -> None:
         except JobCancelled:
             # A cancel signal landed between jobs; nothing to abandon.
             continue
+        except JobStoreError as exc:
+            # run_job's own store writes gave up (store broken past the
+            # retry budget); stay alive and poll — the job is requeued
+            # by the supervisor when the store heals.
+            _log.warning("job %s: store unavailable (%s)",
+                         record.get("job_id"), exc)
+            time.sleep(poll)
     _log.info("serve worker %d down", worker_id)

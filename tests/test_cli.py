@@ -189,3 +189,65 @@ class TestRoute:
         out = capsys.readouterr().out
         assert "RC" in out
         assert "scale" in out  # heat-map legend
+
+
+class TestServeCLI:
+    def test_serve_flags_reach_settings(self, tmp_path, monkeypatch, capsys):
+        captured = {}
+
+        class FakeServer:
+            def __init__(self, root, host="127.0.0.1", port=0,
+                         settings=None):
+                captured["settings"] = settings
+                self.url = f"http://{host}:{port}"
+                self.root = str(root)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def drain(self, timeout):
+                captured["drain_timeout"] = timeout
+                return {
+                    "draining": True, "timeout": timeout,
+                    "in_flight": 0, "drained": True,
+                }
+
+        monkeypatch.setattr("repro.serve.JobServer", FakeServer)
+        # ``repro serve`` blocks on SIGTERM/SIGINT; stand in for the
+        # signal so the command falls straight through to the drain.
+        monkeypatch.setattr(
+            "threading.Event.wait", lambda self, timeout=None: True
+        )
+        rc = main(
+            [
+                "serve", "--root", str(tmp_path / "srv"), "--port", "0",
+                "--workers", "0", "--max-queue-depth", "7",
+                "--rate-limit", "2.5", "--drain-timeout", "9",
+            ]
+        )
+        assert rc == 0
+        settings = captured["settings"]
+        assert settings.max_queue_depth == 7
+        assert settings.rate_limit == 2.5
+        assert settings.drain_timeout == 9.0
+        # SIGTERM path drains with the same deadline it was booted with.
+        assert captured["drain_timeout"] == 9.0
+        assert "serving jobs" in capsys.readouterr().out
+
+    def test_jobs_drain_against_live_server(self, tmp_path, capsys):
+        from repro.serve import JobServer, ServeSettings
+
+        settings = ServeSettings(
+            workers=0, poll_interval=0.02, monitor_interval=0.1
+        )
+        with JobServer(tmp_path / "srv", settings=settings) as server:
+            rc = main(["jobs", "--url", server.url, "drain"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "drained" in out
+            assert "refused with 503" in out
+            # And the server really is draining now.
+            assert server.supervisor.draining is True

@@ -232,6 +232,70 @@ class TestJobStore:
         store.finish(job_id, {"hpwl_final": 0.0}, attempt=1)
         assert store.idle()
 
+    def test_list_state_filter_and_pagination(self, tmp_path):
+        store = self._store(tmp_path)
+        ids = [store.submit({"spec": SPEC})["job_id"] for _ in range(5)]
+        store.claim(1)
+        store.finish(ids[0], {"hpwl_final": 0.0}, attempt=1)
+        assert {r["job_id"] for r in store.list(state="queued")} == set(
+            ids[1:]
+        )
+        assert [r["job_id"] for r in store.list(state="done")] == [ids[0]]
+        # Newest first; limit/offset page through without overlap.
+        everything = store.list()
+        assert [r["job_id"] for r in everything] == list(reversed(ids))
+        paged = store.list(limit=2) + store.list(limit=2, offset=2) \
+            + store.list(limit=2, offset=4)
+        assert [r["job_id"] for r in paged] == list(reversed(ids))
+
+    def test_claim_order_stable_under_concurrent_submitters(self, tmp_path):
+        import threading
+
+        store = self._store(tmp_path)
+        submitted: list[tuple[int, str]] = []
+        lock = threading.Lock()
+
+        def submitter(worker: int):
+            # Each thread opens its own handle, like a real client
+            # process would; priorities interleave across threads.
+            own = JobStore(tmp_path / "serve")
+            for i in range(8):
+                priority = (worker + i) % 3
+                job_id = own.submit(
+                    {"spec": SPEC}, priority=priority
+                )["job_id"]
+                with lock:
+                    submitted.append((priority, job_id))
+
+        threads = [
+            threading.Thread(target=submitter, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert store.counts() == {"queued": 32}
+        # Draining the queue yields priorities in non-increasing order,
+        # and within a priority class the submit order (FIFO) holds
+        # per submitter.
+        drained = []
+        while True:
+            record = store.claim(os.getpid())
+            if record is None:
+                break
+            drained.append(record)
+            store.finish(record["job_id"], {}, attempt=record["attempts"])
+        assert len(drained) == 32
+        priorities = [r["priority"] for r in drained]
+        assert priorities == sorted(priorities, reverse=True)
+        created_by_priority: dict[int, list[float]] = {}
+        for record in drained:
+            created_by_priority.setdefault(
+                record["priority"], []
+            ).append(record["created"])
+        for stamps in created_by_priority.values():
+            assert stamps == sorted(stamps)
+
 
 class TestWorkerPinning:
     def test_resolve_workers_env_opt_out(self, monkeypatch):

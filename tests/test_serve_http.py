@@ -9,6 +9,7 @@ cancel semantics, and the offset-based trace tailing protocol.
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -183,3 +184,64 @@ class TestRunToCompletion:
         assert {r["state"] for r in finals.values()} == {"done"}
         assert client.health()["queue"] == {"done": 3}
         assert server.store.idle()
+
+
+class TestPagination:
+    def test_list_all_pages_past_limit_clamp(self, parked, monkeypatch):
+        _, client = parked
+        ids = {client.submit({"spec": SPEC})["job_id"] for _ in range(5)}
+        # Shrink the page size so five jobs take three round trips —
+        # the same path a big queue takes past MAX_LIST_LIMIT.
+        monkeypatch.setattr("repro.serve.client.LIST_PAGE", 2)
+        records = client.list_all()
+        assert {r["job_id"] for r in records} == ids
+
+    def test_wait_all_sees_jobs_beyond_one_page(self, parked, monkeypatch):
+        server, client = parked
+        ids = [client.submit({"spec": SPEC})["job_id"] for _ in range(5)]
+        for job_id in ids:
+            client.cancel(job_id)
+        monkeypatch.setattr("repro.serve.client.LIST_PAGE", 2)
+        finals = client.wait_all(ids, timeout=30, poll=0.05)
+        assert {r["state"] for r in finals.values()} == {"cancelled"}
+
+
+class TestTraceAttemptRollover:
+    def _write_trace(self, path, lines):
+        with open(path, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(json.dumps({"msg": line}) + "\n")
+
+    def test_stale_offset_replays_fresh_attempt(self, parked):
+        server, client = parked
+        job_id = client.submit({"spec": SPEC})["job_id"]
+        store = server.store
+
+        # Attempt 1: claim and attach a long trace, tail to its end.
+        assert store.claim(os.getpid())["job_id"] == job_id
+        first_trace = os.path.join(server.root, "attempt1.trace")
+        self._write_trace(first_trace, [f"a{i}" for i in range(20)])
+        assert store.set_paths(job_id, attempt=1, trace_path=first_trace)
+        out = client.tail_trace(job_id, offset=0)
+        assert len(out["lines"]) == 20
+        stale_offset = out["offset"]
+
+        # The worker dies; the supervisor requeues; attempt 2 starts a
+        # fresh (shorter) trace file.
+        store.requeue(job_id, "worker died", attempt=1)
+        assert store.claim(os.getpid())["job_id"] == job_id
+        second_trace = os.path.join(server.root, "attempt2.trace")
+        self._write_trace(second_trace, ["b0", "b1", "b2"])
+        assert store.set_paths(job_id, attempt=2, trace_path=second_trace)
+
+        # A tailer still holding the attempt-1 offset must not hang or
+        # skip: the server detects offset > size and replays attempt 2
+        # from byte 0.
+        rolled = client.tail_trace(job_id, offset=stale_offset)
+        assert [json.loads(line)["msg"] for line in rolled["lines"]] == [
+            "b0", "b1", "b2",
+        ]
+        assert rolled["offset"] == os.path.getsize(second_trace)
+        # The returned offset is live again: nothing new -> no lines.
+        again = client.tail_trace(job_id, offset=rolled["offset"])
+        assert again["lines"] == []

@@ -1,0 +1,274 @@
+"""Overload and admission-control tests for the serve stack.
+
+Pins the contract documented in ``docs/serving.md``: per-client token
+buckets (429 + ``Retry-After`` on quota breach), the bounded queue
+(503 when full), the ``/healthz`` liveness vs ``/readyz`` readiness
+split, and the client's retry discipline — transient failures (429,
+5xx, connection resets) are retried with capped jittered backoff,
+honouring ``Retry-After``, while non-transient errors surface at once
+with the server's actual error body (even when it is not JSON).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import http.server
+import threading
+
+import pytest
+
+from repro.resilience.faults import inject
+from repro.serve import JobServer, ServeAPIError, ServeClient, ServeSettings
+from repro.serve.ratelimit import RateLimiter, TokenBucket
+
+SPEC = {"name": "loadtest", "num_cells": 40, "seed": 3}
+FAST_OPTIONS = {
+    "route": False,
+    "run_dp": False,
+    "config": {"gp.max_outer_iterations": 3},
+}
+
+
+def make_server(tmp_path, **overrides) -> JobServer:
+    base = dict(
+        workers=0,  # parked: submitted jobs stay queued forever
+        poll_interval=0.02,
+        heartbeat_interval=0.1,
+        monitor_interval=0.1,
+        stale_timeout=30.0,
+    )
+    base.update(overrides)
+    return JobServer(tmp_path / "serve", settings=ServeSettings(**base))
+
+
+def no_retry_client(server: JobServer, **kwargs) -> ServeClient:
+    return ServeClient(server.url, timeout=30.0, retries=0, **kwargs)
+
+
+@contextlib.contextmanager
+def plain_text_server(status: int, body: str):
+    """A raw HTTP server that answers every GET with a non-JSON body."""
+    data = body.encode("utf-8")
+
+    class Handler(http.server.BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 - http.server API
+            self.send_response(status)
+            self.send_header("Content-Type", "text/plain")
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def log_message(self, fmt, *args):  # noqa: A003
+            pass
+
+    httpd = http.server.ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://127.0.0.1:{httpd.server_port}"
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+
+
+class TestTokenBucket:
+    def test_burst_grants_then_waits(self):
+        bucket = TokenBucket(rate=1.0, burst=2.0, now=0.0)
+        assert bucket.try_take(now=0.0) == 0.0
+        assert bucket.try_take(now=0.0) == 0.0
+        wait = bucket.try_take(now=0.0)
+        assert wait == pytest.approx(1.0)
+
+    def test_refill_restores_tokens(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0, now=0.0)
+        assert bucket.try_take(now=0.0) == 0.0
+        wait = bucket.try_take(now=0.0)
+        assert wait == pytest.approx(0.5)
+        # After exactly the advertised wait a token exists again.
+        assert bucket.try_take(now=wait) == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0, now=0.0)
+        # A long idle period must not bank more than ``burst`` tokens.
+        assert bucket.try_take(now=1000.0) == 0.0
+        assert bucket.try_take(now=1000.0) == 0.0
+        assert bucket.try_take(now=1000.0) > 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestRateLimiter:
+    def test_disabled_when_rate_zero(self):
+        limiter = RateLimiter(0.0)
+        assert limiter.enabled is False
+        for _ in range(100):
+            assert limiter.check("anyone", now=0.0) == 0.0
+
+    def test_per_client_isolation(self):
+        limiter = RateLimiter(1.0, 1.0)
+        assert limiter.check("a", now=0.0) == 0.0
+        assert limiter.check("a", now=0.0) > 0.0
+        # Client b has its own untouched bucket.
+        assert limiter.check("b", now=0.0) == 0.0
+
+    def test_retry_after_is_refill_time(self):
+        limiter = RateLimiter(2.0, 1.0)
+        assert limiter.check("a", now=0.0) == 0.0
+        assert limiter.check("a", now=0.0) == pytest.approx(0.5)
+        assert limiter.check("a", now=0.5) == 0.0
+
+    def test_idle_buckets_pruned(self):
+        limiter = RateLimiter(1.0, 1.0)
+        for i in range(70):
+            limiter.check(f"client-{i}", now=0.0)
+        assert limiter.describe()["clients"] == 70
+        # A check far past IDLE_SECONDS sweeps the stale buckets.
+        limiter.check("fresh", now=RateLimiter.IDLE_SECONDS + 1.0)
+        assert limiter.describe()["clients"] == 1
+
+    def test_default_burst_tracks_rate(self):
+        assert RateLimiter(10.0).burst == 20.0
+        assert RateLimiter(0.2).burst == 1.0
+
+
+class TestHealthEndpoints:
+    def test_healthz_is_bare_liveness(self, tmp_path):
+        with make_server(tmp_path) as server:
+            out = no_retry_client(server).healthz()
+        assert out == {"ok": True}
+
+    def test_readyz_ready_when_idle(self, tmp_path):
+        with make_server(tmp_path) as server:
+            assert no_retry_client(server).ready() is True
+
+    def test_readyz_unready_near_queue_watermark(self, tmp_path):
+        with make_server(tmp_path, max_queue_depth=5) as server:
+            client = no_retry_client(server)
+            for _ in range(3):
+                client.submit({"spec": SPEC}, options=FAST_OPTIONS)
+            assert client.ready() is True
+            client.submit({"spec": SPEC}, options=FAST_OPTIONS)  # 4 >= 80% of 5
+            assert client.ready() is False
+            with pytest.raises(ServeAPIError) as exc:
+                client._request("GET", "/readyz")
+            assert exc.value.status == 503
+            assert exc.value.retry_after is not None
+
+    def test_health_reports_admission_state(self, tmp_path):
+        with make_server(tmp_path, rate_limit=5.0) as server:
+            out = no_retry_client(server).health()
+        assert out["draining"] is False
+        assert out["read_only"] is None
+        assert out["ratelimit"]["enabled"] is True
+        assert out["ratelimit"]["rate"] == 5.0
+
+
+class TestAdmissionControl:
+    def test_quota_breach_gets_429_with_retry_after(self, tmp_path):
+        with make_server(tmp_path, rate_limit=1.0, rate_burst=1.0) as server:
+            client = no_retry_client(server, client_id="tenant-a")
+            client.submit({"spec": SPEC}, options=FAST_OPTIONS)
+            with pytest.raises(ServeAPIError) as exc:
+                client.submit({"spec": SPEC}, options=FAST_OPTIONS)
+            assert exc.value.status == 429
+            assert exc.value.retry_after is not None
+            assert exc.value.retry_after >= 1.0
+            assert exc.value.transient is True
+            # The quota is per client: another tenant is unaffected.
+            other = no_retry_client(server, client_id="tenant-b")
+            assert "job_id" in other.submit({"spec": SPEC}, options=FAST_OPTIONS)
+
+    def test_client_retries_429_to_success(self, tmp_path):
+        with make_server(tmp_path, rate_limit=2.0, rate_burst=1.0) as server:
+            client = ServeClient(
+                server.url, timeout=30.0, retries=4, backoff=0.05,
+                client_id="busy",
+            )
+            first = client.submit({"spec": SPEC}, options=FAST_OPTIONS)
+            # Bucket empty now; the client waits out Retry-After and
+            # lands the second submit without surfacing the 429.
+            second = client.submit({"spec": SPEC}, options=FAST_OPTIONS)
+            assert first["job_id"] != second["job_id"]
+
+    def test_full_queue_gets_503_with_retry_after(self, tmp_path):
+        with make_server(tmp_path, max_queue_depth=2) as server:
+            client = no_retry_client(server)
+            for _ in range(2):
+                client.submit({"spec": SPEC}, options=FAST_OPTIONS)
+            with pytest.raises(ServeAPIError) as exc:
+                client.submit({"spec": SPEC}, options=FAST_OPTIONS)
+            assert exc.value.status == 503
+            assert "queue is full" in exc.value.message
+            assert exc.value.retry_after is not None
+
+    def test_terminal_jobs_free_queue_slots(self, tmp_path):
+        with make_server(tmp_path, max_queue_depth=2) as server:
+            client = no_retry_client(server)
+            first = client.submit({"spec": SPEC}, options=FAST_OPTIONS)
+            client.submit({"spec": SPEC}, options=FAST_OPTIONS)
+            with pytest.raises(ServeAPIError):
+                client.submit({"spec": SPEC}, options=FAST_OPTIONS)
+            # Cancelling a queued job is immediate, so capacity returns.
+            assert client.cancel(first["job_id"])["state"] == "cancelled"
+            assert "job_id" in client.submit({"spec": SPEC}, options=FAST_OPTIONS)
+
+
+class TestClientResilience:
+    def test_retries_injected_500(self, tmp_path):
+        with make_server(tmp_path) as server:
+            client = ServeClient(
+                server.url, timeout=30.0, retries=3, backoff=0.01
+            )
+            with inject("serve.http_500@1"):
+                assert client.healthz() == {"ok": True}
+
+    def test_500_surfaces_without_retry_budget(self, tmp_path):
+        with make_server(tmp_path) as server:
+            client = no_retry_client(server)
+            with inject("serve.http_500@1"):
+                with pytest.raises(ServeAPIError) as exc:
+                    client.healthz()
+            assert exc.value.status == 500
+            assert exc.value.transient is True
+            assert exc.value.retry_after == 1.0
+
+    def test_retries_injected_connection_reset(self, tmp_path):
+        with make_server(tmp_path) as server:
+            client = ServeClient(
+                server.url, timeout=30.0, retries=3, backoff=0.01
+            )
+            with inject("serve.client_conn_reset@1"):
+                assert client.healthz() == {"ok": True}
+
+    def test_connection_failure_is_status_zero(self, tmp_path):
+        with make_server(tmp_path) as server:
+            client = no_retry_client(server)
+            with inject("serve.client_conn_reset@1"):
+                with pytest.raises(ServeAPIError) as exc:
+                    client.healthz()
+            assert exc.value.status == 0
+            assert exc.value.transient is True
+
+    def test_non_json_error_body_not_swallowed(self):
+        with plain_text_server(500, "upstream proxy exploded\nstack here") \
+                as url:
+            client = ServeClient(url, timeout=10.0, retries=0)
+            with pytest.raises(ServeAPIError) as exc:
+                client.healthz()
+        assert exc.value.status == 500
+        # The raw body survives both as the message snippet and verbatim.
+        assert "upstream proxy exploded" in exc.value.message
+        assert "stack here" in exc.value.body
+
+    def test_non_json_404_keeps_body(self):
+        with plain_text_server(404, "<html>not found</html>") as url:
+            client = ServeClient(url, timeout=10.0, retries=0)
+            with pytest.raises(ServeAPIError) as exc:
+                client.healthz()
+        assert exc.value.status == 404
+        assert exc.value.transient is False
+        assert "not found" in exc.value.body
