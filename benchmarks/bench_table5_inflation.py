@@ -4,6 +4,13 @@ The full routability-driven flow with inflation enabled versus the same
 flow with inflation disabled (all else equal), on the *congested* suite
 designs.  Expected shape: inflation cuts RC/peak congestion at a small
 raw-HPWL cost — the paper's core routability mechanism.
+
+The inflation-on rows are further split by congestion estimator:
+``rudy`` (analytic demand map), ``router`` (a real look-ahead route
+every inflation round), and ``hybrid`` (the learned predictor with the
+router every K-th round — the packaged default artifact).  Expected
+shape: all three land in the same quality band, with hybrid matching
+router far cheaper per round.
 """
 
 import pytest
@@ -19,19 +26,35 @@ CONGESTED = [n for n in bench_designs() if SUITE[n].congested_band > 0] or ["rh0
 _ROWS = []
 
 
+#: (inflate, congestion estimator) legs; estimator is moot with
+#: inflation off, so that leg runs once.
+_LEGS = [
+    (True, "rudy"),
+    (True, "router"),
+    (True, "hybrid"),
+    (False, "rudy"),
+]
+
+
 @pytest.mark.parametrize("name", CONGESTED)
-@pytest.mark.parametrize("inflate", [True, False], ids=["inflate", "no-inflate"])
-def test_inflation_run(benchmark, name, inflate):
+@pytest.mark.parametrize(
+    "inflate,estimator",
+    _LEGS,
+    ids=["inflate-rudy", "inflate-router", "inflate-hybrid", "no-inflate"],
+)
+def test_inflation_run(benchmark, name, inflate, estimator):
     def run():
         design = make_suite_design(name)
         cfg = flow_config(routability=True)
         cfg.gp.routability = inflate
+        cfg.gp.congestion_estimator = estimator
         cfg.dp.congestion_aware = True
         result = NTUplace4H(cfg).run(design)
         _ROWS.append(
             {
                 "design": name,
                 "inflation": "on" if inflate else "off",
+                "estimator": estimator if inflate else "-",
                 "HPWL": round(result.hpwl_final, 0),
                 "RC": round(result.rc, 4),
                 "sHPWL": round(result.scaled_hpwl, 0),
@@ -48,10 +71,22 @@ def test_table5_report(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     assert _ROWS, "inflation runs must execute first"
     print_banner("Table 5: congestion-driven inflation ablation")
-    print(format_table(sorted(_ROWS, key=lambda r: (r["design"], r["inflation"]))))
-    on = {r["design"]: r for r in _ROWS if r["inflation"] == "on"}
+    print(
+        format_table(
+            sorted(_ROWS, key=lambda r: (r["design"], r["inflation"], r["estimator"]))
+        )
+    )
+    on = {r["design"]: r for r in _ROWS if r["inflation"] == "on" and r["estimator"] == "rudy"}
     off = {r["design"]: r for r in _ROWS if r["inflation"] == "off"}
     # Shape: inflation must not increase congestion overall.
     mean_on = sum(on[d]["RC"] for d in on) / len(on)
     mean_off = sum(off[d]["RC"] for d in off) / len(off)
     assert mean_on <= mean_off + 0.02
+    # Shape: the learned hybrid estimator must land in the same RC band
+    # as the real look-ahead router it stands in for.
+    router = {r["design"]: r for r in _ROWS if r["estimator"] == "router"}
+    hybrid = {r["design"]: r for r in _ROWS if r["estimator"] == "hybrid"}
+    for d in router:
+        assert abs(hybrid[d]["RC"] - router[d]["RC"]) <= 0.05, (
+            f"{d}: hybrid RC {hybrid[d]['RC']} vs router RC {router[d]['RC']}"
+        )

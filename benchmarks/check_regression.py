@@ -77,6 +77,15 @@ except ImportError:
         "chaos_restarts": (1e9, 1e9),
         "chaos_faults_fired": (1e9, 1e9),
         "chaos_store_recoveries": (1e9, 1e9),
+        "predict_router_rounds": (0.0, 0.0),
+        "predict_predictor_rounds": (0.0, 0.0),
+        "predict_fallbacks": (0.0, 0.0),
+        "predict_train_samples": (0.0, 0.0),
+        "predict_final_drift": (0.0, 0.1),
+        "predict_val_mse": (0.0, 0.05),
+        "predict_hpwl_rel_delta": (0.0, 0.01),
+        "predict_overflow_delta": (0.0, 0.02),
+        "predict_inflation_speedup": (1e9, 1e9),
     }
 # Flags that must be true in the fresh record for the gate to pass.
 # Each is checked only when present, so baselines produced without a

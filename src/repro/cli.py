@@ -188,6 +188,7 @@ def _cmd_place(args) -> int:
                 cfg.runs_dir = default_runs_dir(args.runs_dir)
                 _apply_route_knobs(cfg, args)
                 _apply_dp_knobs(cfg, args)
+                _apply_predict_knobs(cfg, args)
                 result = NTUplace4H(cfg).run(
                     design,
                     route=not args.no_route,
@@ -273,6 +274,43 @@ def _add_route_knobs(p) -> None:
     )
 
 
+def _apply_predict_knobs(cfg: FlowConfig, args) -> None:
+    """Copy the congestion-estimator flags (when given) onto a flow config."""
+    if args.estimator is not None:
+        cfg.gp.congestion_estimator = args.estimator
+    if args.predict_model is not None:
+        cfg.gp.predict_model = args.predict_model
+    if args.predict_interval is not None:
+        cfg.gp.predict_router_interval = args.predict_interval
+    if args.predict_drift_tol is not None:
+        cfg.gp.predict_drift_tol = args.predict_drift_tol
+
+
+def _add_predict_knobs(p) -> None:
+    p.add_argument(
+        "--estimator", choices=["rudy", "router", "hybrid"],
+        help="GP congestion estimator: rudy (no routing), router "
+        "(look-ahead route every inflation round), or hybrid (learned "
+        "predictor + periodic router, see 'repro predict')",
+    )
+    p.add_argument(
+        "--predict-model", metavar="PATH",
+        help="hybrid estimator: model artifact JSON (default: the "
+        "packaged artifact trained by 'repro predict train')",
+    )
+    p.add_argument(
+        "--predict-interval", type=int, metavar="K",
+        help="hybrid estimator: run the real look-ahead router every "
+        "K-th inflation round (predictor in between)",
+    )
+    p.add_argument(
+        "--predict-drift-tol", type=float, metavar="T",
+        help="hybrid estimator: fall back to the router permanently "
+        "once mean |predicted - routed| congestion over hot tiles "
+        "exceeds T on a router round",
+    )
+
+
 def _apply_dp_knobs(cfg: FlowConfig, args) -> None:
     """Copy the detailed-placement flags (when given) onto a flow config."""
     if args.dp_passes is not None:
@@ -346,6 +384,65 @@ def _cmd_stats(args) -> int:
         print(f"{len(problems)} consistency problems; first: {problems[0]}")
         return 1
     print("design is consistent")
+    return 0
+
+
+def _cmd_predict_train(args) -> int:
+    from repro.predict import train_predictor, training_specs
+    from repro.predict.model import save_artifact
+    from repro.predict.train import default_artifact_path
+
+    specs = training_specs(args.designs, args.seed)
+    artifact = train_predictor(
+        specs,
+        seed=args.seed,
+        boost_rounds=args.boost_rounds,
+        ridge_alpha=args.ridge_alpha,
+    )
+    out = args.out or default_artifact_path()
+    save_artifact(artifact, out)
+    metrics = artifact["metrics"]
+    rows = [
+        {
+            "primary": artifact["primary"],
+            "designs": len(specs),
+            "samples": artifact["provenance"]["num_samples"],
+            **{k: f"{v:.4f}" for k, v in sorted(metrics.items())},
+        }
+    ]
+    print(format_table(rows, title="trained congestion predictor"))
+    print(f"wrote {out}")
+    return 0
+
+
+def _cmd_predict_show(args) -> int:
+    from repro.predict.model import PredictError, load_artifact
+    from repro.predict.train import default_artifact_path
+
+    path = args.model or default_artifact_path()
+    try:
+        artifact = load_artifact(path)
+    except PredictError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    prov = artifact["provenance"]
+    rows = [
+        {
+            "primary": artifact["primary"],
+            "models": "/".join(sorted(artifact["models"])),
+            "features": len(artifact["feature_names"]),
+            "designs": ",".join(prov["designs"]),
+            "samples": prov["num_samples"],
+            "config_hash": prov["config_hash"][:12],
+        }
+    ]
+    print(format_table(rows, title=f"model artifact {path}"))
+    metrics = artifact.get("metrics", {})
+    if metrics:
+        print(format_table(
+            [{k: f"{v:.4f}" for k, v in sorted(metrics.items())}],
+            title="training metrics",
+        ))
     return 0
 
 
@@ -726,6 +823,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_route_knobs(p)
     _add_dp_knobs(p)
+    _add_predict_knobs(p)
     p.set_defaults(func=_cmd_place)
 
     r = sub.add_parser("route", help="score an existing placement by routing")
@@ -737,6 +835,43 @@ def build_parser() -> argparse.ArgumentParser:
     s = sub.add_parser("stats", help="print benchmark statistics")
     s.add_argument("--aux", required=True)
     s.set_defaults(func=_cmd_stats)
+
+    pr = sub.add_parser(
+        "predict",
+        help="train/inspect the learned congestion predictor "
+        "(the hybrid GP estimator's model artifact)",
+    )
+    prsub = pr.add_subparsers(dest="predict_command", required=True)
+    pt = prsub.add_parser(
+        "train", help="train the model zoo on seeded benchgen designs"
+    )
+    pt.add_argument(
+        "--designs", type=int, default=3, metavar="N",
+        help="number of generated training designs (default 3)",
+    )
+    pt.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for design generation (the run is fully deterministic)",
+    )
+    pt.add_argument(
+        "--boost-rounds", type=int, default=150, metavar="N",
+        help="gradient-boosting rounds for the stump model",
+    )
+    pt.add_argument(
+        "--ridge-alpha", type=float, default=1.0, metavar="A",
+        help="L2 strength for the ridge model",
+    )
+    pt.add_argument(
+        "--out", metavar="PATH",
+        help="artifact output path (default: the packaged default artifact)",
+    )
+    pt.set_defaults(func=_cmd_predict_train)
+    ps = prsub.add_parser("show", help="print an artifact's provenance/metrics")
+    ps.add_argument(
+        "--model", metavar="PATH",
+        help="artifact to inspect (default: the packaged default artifact)",
+    )
+    ps.set_defaults(func=_cmd_predict_show)
 
     sv = sub.add_parser(
         "serve",

@@ -95,6 +95,10 @@ class Design:
         self.regions: list = []
         self.hierarchy = HierarchyTree()
         self.routing = None  # repro.route.RoutingSpec, if congestion-aware
+        # One-time congestion-estimator calibration (pin_norm, supply
+        # map) shared by every CongestionInflator bound to this design
+        # and carried through flow checkpoints (see repro.gp.inflation).
+        self.congestion_calibration = None
         self._core = core
         self._node_index: dict = {}
         self._net_index: dict = {}

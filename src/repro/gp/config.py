@@ -43,7 +43,18 @@ class GPConfig:
     inflation_max: float = 2.5  # per-cell area cap
     inflation_total_max: float = 1.25  # total inflated area cap vs original
     congestion_threshold: float = 0.8  # inflate cells above this utilization
-    congestion_estimator: str = "rudy"  # or "router" (look-ahead routing)
+    # "rudy" (no routing), "router" (look-ahead route every round), or
+    # "hybrid" (learned predictor + periodic router, repro.predict).
+    congestion_estimator: str = "rudy"
+    # Hybrid estimator: model artifact path (None = packaged default),
+    # real-router cadence, and the mean |predicted - routed| drift over
+    # hot tiles beyond which the loop falls back to the router.  The
+    # tolerance sits well above a healthy model's hot-tile error
+    # (~0.3-0.5) — it catches gross breakdown (stale artifact,
+    # out-of-distribution design), not routine prediction noise.
+    predict_model: str | None = None
+    predict_router_interval: int = 4
+    predict_drift_tol: float = 0.75
     # Whitespace reservation: scale each density bin's target by its
     # relative routing supply, so starved regions attract fewer cells.
     whitespace_reservation: bool = True

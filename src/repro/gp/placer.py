@@ -67,6 +67,7 @@ class GPReport:
     guard_events: list = field(default_factory=list)  # GuardEvent dicts
     guard_exhausted: bool = False   # retries ran out; kept last-good state
     budget_exhausted: bool = False  # stage watchdog expired mid-descent
+    inflation: dict = field(default_factory=dict)  # hybrid-estimator stats
 
     @property
     def num_iterations(self) -> int:
@@ -230,6 +231,9 @@ class GlobalPlacer:
                 total_max=cfg.inflation_total_max,
                 threshold=cfg.congestion_threshold,
                 estimator=cfg.congestion_estimator,
+                predict_model=cfg.predict_model,
+                router_interval=cfg.predict_router_interval,
+                drift_tol=cfg.predict_drift_tol,
                 reference=cfg.reference,
             )
 
@@ -626,6 +630,15 @@ class GlobalPlacer:
         if guard is not None:
             report.guard_rollbacks += guard.rollbacks
             report.guard_events += [e.as_dict() for e in guard.events]
+        if inflator is not None:
+            if inflator.wants_final_check:
+                # Hybrid estimator: close the loop with one real route at
+                # the final positions so the run record carries the
+                # realized prediction error.
+                with tracer.span("inflation"):
+                    inflator.final_router_check(arrays, cx, cy)
+            if inflator.estimator == "hybrid":
+                report.inflation = dict(inflator.hybrid_stats)
         design.push_centers(cx, cy, indices=mov)
         if cfg.optimize_orientations and not cfg.freeze_macros:
             report.orientation_changes += optimize_macro_orientations(

@@ -108,7 +108,9 @@ class BinGrid:
             np.maximum(wx, 0.0), np.maximum(wy, 0.0)
         )
 
-    def rasterize_rects(self, xl, yl, xh, yh, values=None, *, reference: bool = False) -> np.ndarray:
+    def rasterize_rects(
+        self, xl, yl, xh, yh, values=None, *, reference: bool = False, out=None
+    ) -> np.ndarray:
         """Exact-overlap rasterization of many rectangles, vectorized.
 
         Rectangle ``i`` contributes ``values[i] * overlap_area`` to each
@@ -122,13 +124,26 @@ class BinGrid:
         of touched bins rather than ``num_rects x max_span^2``, so one
         macro no longer drags every standard cell through its full sweep.
         ``reference=True`` runs the original sweep verbatim.
+
+        ``out`` supplies a caller-owned ``(nx, ny)`` accumulator that is
+        zeroed and reused instead of allocating a fresh grid — a zeroed
+        buffer is indistinguishable from ``zeros()``, so results stay
+        bit-identical.  The returned array is ``out`` itself.
         """
         xl = np.asarray(xl, dtype=float)
         yl = np.asarray(yl, dtype=float)
         xh = np.asarray(xh, dtype=float)
         yh = np.asarray(yh, dtype=float)
         vals = np.ones_like(xl) if values is None else np.asarray(values, dtype=float)
-        grid = self.zeros()
+        if out is None:
+            grid = self.zeros()
+        else:
+            if out.shape != (self.nx, self.ny):
+                raise ValueError(
+                    f"out has shape {out.shape}, grid is ({self.nx}, {self.ny})"
+                )
+            grid = out
+            grid.fill(0.0)
         if len(xl) == 0:
             return grid
         cxl = np.clip(xl, self.area.xl, self.area.xh)
@@ -239,6 +254,99 @@ class BinGrid:
         out = np.bincount(flat[order], weights=mass[order], minlength=self.nx * self.ny)
         grid += out.reshape(self.nx, self.ny)
         return grid
+
+    def rasterize_rects_multi(self, xl, yl, xh, yh, values, outs=None):
+        """Rasterize the *same* rectangles with several value vectors.
+
+        The geometry work — clipping, per-rect bin-window expansion,
+        overlap widths — is computed once and shared; each value vector
+        then costs one gather + one ``bincount``.  The congestion
+        feature extractor uses this to build its five net-box maps for
+        roughly the price of one :meth:`rasterize_rects` call.
+
+        Entries accumulate in natural ``(rect, kx, ky)`` order, which is
+        deterministic for fixed input, but *not* the golden sweep order
+        of :meth:`rasterize_rects` — use that method on bit-exactness-
+        constrained paths.  ``outs`` optionally supplies one reusable
+        ``(nx, ny)`` buffer per value vector; returns the list of grids.
+        """
+        xl = np.asarray(xl, dtype=float)
+        yl = np.asarray(yl, dtype=float)
+        xh = np.asarray(xh, dtype=float)
+        yh = np.asarray(yh, dtype=float)
+        values = [np.asarray(v, dtype=float) for v in values]
+        if outs is None:
+            outs = [None] * len(values)
+        if len(outs) != len(values):
+            raise ValueError(f"{len(values)} value vectors, {len(outs)} outs")
+        grids = []
+        for out in outs:
+            if out is None:
+                grids.append(self.zeros())
+            else:
+                if out.shape != (self.nx, self.ny):
+                    raise ValueError(
+                        f"out has shape {out.shape}, grid is ({self.nx}, {self.ny})"
+                    )
+                out.fill(0.0)
+                grids.append(out)
+        if len(xl) == 0:
+            return grids
+        cxl = np.clip(xl, self.area.xl, self.area.xh)
+        cyl = np.clip(yl, self.area.yl, self.area.yh)
+        cxh = np.clip(xh, self.area.xl, self.area.xh)
+        cyh = np.clip(yh, self.area.yl, self.area.yh)
+        keep = (cxh - cxl) * (cyh - cyl) > 0
+        if not keep.any():
+            return grids
+        cxl, cyl, cxh, cyh = cxl[keep], cyl[keep], cxh[keep], cyh[keep]
+        ix0 = np.clip(
+            np.floor((cxl - self.area.xl) / self.bin_w).astype(np.int64),
+            0, self.nx - 1,
+        )
+        iy0 = np.clip(
+            np.floor((cyl - self.area.yl) / self.bin_h).astype(np.int64),
+            0, self.ny - 1,
+        )
+        lx = np.ceil((cxh - self.area.xl) / self.bin_w).astype(np.int64) - ix0
+        ly = np.ceil((cyh - self.area.yl) / self.bin_h).astype(np.int64) - iy0
+        np.clip(lx, 1, self.nx - ix0, out=lx)
+        np.clip(ly, 1, self.ny - iy0, out=ly)
+        num = len(lx)
+        total = int((lx * ly).sum())
+        # Window columns (rect, kx): x overlap width per covered column.
+        row_start = np.zeros(num, dtype=np.int64)
+        np.cumsum(lx[:-1], out=row_start[1:])
+        row_rid = np.repeat(np.arange(num, dtype=np.int64), lx)
+        row_kx = np.arange(int(lx.sum()), dtype=np.int64) - row_start[row_rid]
+        row_ix = ix0[row_rid] + row_kx
+        bxl = self.area.xl + row_ix * self.bin_w
+        wx = np.minimum(bxl + self.bin_w, cxh[row_rid]) - np.maximum(bxl, cxl[row_rid])
+        wx = np.maximum(wx, 0.0)
+        # Window rows (rect, ky): y overlap width per covered row.
+        col_start = np.zeros(num, dtype=np.int64)
+        np.cumsum(ly[:-1], out=col_start[1:])
+        col_rid = np.repeat(np.arange(num, dtype=np.int64), ly)
+        col_ky = np.arange(int(ly.sum()), dtype=np.int64) - col_start[col_rid]
+        byl = self.area.yl + (iy0[col_rid] + col_ky) * self.bin_h
+        wy_row = np.minimum(byl + self.bin_h, cyh[col_rid]) - np.maximum(byl, cyl[col_rid])
+        wy_row = np.maximum(wy_row, 0.0)
+        # Expand columns to entries and pre-gather the per-entry y widths
+        # and flat bin indices — shared by every value vector.
+        ly_col = ly[row_rid]
+        entry_start = np.zeros(len(ly_col), dtype=np.int64)
+        np.cumsum(ly_col[:-1], out=entry_start[1:])
+        ky = np.arange(total, dtype=np.int64) - np.repeat(entry_start, ly_col)
+        wy_entries = wy_row[np.repeat(col_start[row_rid], ly_col) + ky]
+        flat = np.repeat(row_ix * self.ny + iy0[row_rid], ly_col) + ky
+        nb = self.nx * self.ny
+        for grid, vals in zip(grids, values):
+            mass = np.repeat(vals[keep][row_rid] * wx, ly_col)
+            mass *= wy_entries
+            grid += np.bincount(flat, weights=mass, minlength=nb).reshape(
+                self.nx, self.ny
+            )
+        return grids
 
     def bilinear_sample(self, grid: np.ndarray, x, y):
         """Bilinear interpolation of ``grid`` (values at bin centres)."""

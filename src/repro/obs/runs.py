@@ -98,6 +98,22 @@ TOLERANCES = {
     "chaos_restarts": (1e9, 1e9),
     "chaos_faults_fired": (1e9, 1e9),
     "chaos_store_recoveries": (1e9, 1e9),
+    # Learned-congestion-predictor records (BENCH_predict.json).  Round
+    # counts and fallbacks are exact for a given revision — a fallback
+    # firing mid-bench or a scheduling change is behaviour drift, not
+    # noise.  Drift/MSE get a modest absolute band (retraining is seed-
+    # deterministic but numerically sensitive to feature-code changes);
+    # the hybrid-vs-router quality deltas are gated on an absolute band
+    # around zero; the timing ratio rides along ungated.
+    "predict_router_rounds": (0.0, 0.0),
+    "predict_predictor_rounds": (0.0, 0.0),
+    "predict_fallbacks": (0.0, 0.0),
+    "predict_train_samples": (0.0, 0.0),
+    "predict_final_drift": (0.0, 0.1),
+    "predict_val_mse": (0.0, 0.05),
+    "predict_hpwl_rel_delta": (0.0, 0.01),
+    "predict_overflow_delta": (0.0, 0.02),
+    "predict_inflation_speedup": (1e9, 1e9),
 }
 
 #: Fallback tolerance for metrics without an explicit entry.

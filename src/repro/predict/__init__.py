@@ -1,0 +1,58 @@
+"""Learned congestion prediction (the inflation loop's cheap oracle).
+
+The look-ahead router gives the most faithful congestion picture the
+inflation loop can ratchet against, but one pattern route per inflation
+round dominates GP wall time once the other stage hot paths are
+overhauled.  This package learns that signal instead: vectorized per-bin
+features (RUDY demand, pin density, local net-degree statistics, routing
+supply), a pure-NumPy model zoo (ridge regression baseline plus
+gradient-boosted stumps) serialized to a versioned JSON artifact, and a
+training harness that labels synthetic benchgen designs with real
+lookahead-router overflow maps.
+
+``CongestionInflator(estimator="hybrid")`` consumes the artifact: the
+predictor answers every inflation round, the real router only every
+K-th round (plus a final check), and drift between the two falls the
+loop back to the pure router.
+"""
+
+from repro.predict.features import FEATURE_NAMES, FeatureExtractor
+from repro.predict.model import (
+    ARTIFACT_VERSION,
+    BoostedStumps,
+    CongestionPredictor,
+    PredictError,
+    RidgeModel,
+    build_predict_schema,
+    load_artifact,
+    load_predictor,
+    save_artifact,
+    validate_artifact,
+)
+from repro.predict.train import (
+    TRAIN_CUTOFFS,
+    collect_dataset,
+    default_artifact_path,
+    train_predictor,
+    training_specs,
+)
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "FEATURE_NAMES",
+    "TRAIN_CUTOFFS",
+    "BoostedStumps",
+    "CongestionPredictor",
+    "FeatureExtractor",
+    "PredictError",
+    "RidgeModel",
+    "build_predict_schema",
+    "collect_dataset",
+    "default_artifact_path",
+    "load_artifact",
+    "load_predictor",
+    "save_artifact",
+    "train_predictor",
+    "training_specs",
+    "validate_artifact",
+]

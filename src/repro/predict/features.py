@@ -1,0 +1,161 @@
+"""Per-bin feature maps for the congestion predictor.
+
+Every feature is a vectorized NumPy map over the routing grid — the same
+``(nx, ny)`` tiles the look-ahead router scores — flattened to one row
+per bin.  The extractor owns preallocated buffers, so refreshing the
+features every inflation round allocates nothing after the first call.
+
+Features (one column each, see :data:`FEATURE_NAMES`):
+
+* ``rudy`` / ``rudy_h`` / ``rudy_v`` — total and directional RUDY wire
+  demand density (net HPWL, or its horizontal/vertical span, smeared
+  over the net bounding box).
+* ``pins`` — pin density (pins per unit area).
+* ``nets`` / ``net_degree`` / ``avg_degree`` — net-count density,
+  degree-weighted net density, and their ratio: a local Rent-style
+  statistic separating many-small-nets tiles from few-large-nets tiles.
+* ``supply_h`` / ``supply_v`` — routing track supply density from the
+  :class:`~repro.route.RoutingSpec` (capacity map, macro blockages).
+* ``cong_est`` / ``cong_h`` / ``cong_v`` — demand/supply ratios (total
+  and per direction): scale-invariant, so split thresholds learned on
+  one design transfer to another.
+* ``rudy_3x3`` / ``pins_3x3`` / ``cong_3x3`` — 3x3 neighbourhood means,
+  letting the model see demand spilling over from adjacent tiles.
+* ``edge_distance`` — normalized distance to the nearest die edge
+  (boundary tiles route differently from core tiles).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.route.rudy import pin_density_map
+from repro.wirelength.hpwl import net_bounding_boxes
+
+#: Column order of the feature matrix; artifacts record this tuple and
+#: loading fails on mismatch (a model must see the features it trained on).
+FEATURE_NAMES = (
+    "rudy",
+    "rudy_h",
+    "rudy_v",
+    "pins",
+    "nets",
+    "net_degree",
+    "avg_degree",
+    "supply_h",
+    "supply_v",
+    "cong_est",
+    "cong_h",
+    "cong_v",
+    "rudy_3x3",
+    "pins_3x3",
+    "cong_3x3",
+    "edge_distance",
+)
+
+
+def box_mean_3x3(a: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """3x3 box-filter mean with edge clamping."""
+    padded = np.pad(a, 1, mode="edge")
+    if out is None:
+        out = np.zeros_like(a)
+    else:
+        out.fill(0.0)
+    for dx in range(3):
+        for dy in range(3):
+            out += padded[dx : dx + a.shape[0], dy : dy + a.shape[1]]
+    out /= 9.0
+    return out
+
+
+class FeatureExtractor:
+    """Computes the ``(num_bins, num_features)`` matrix for one spec.
+
+    Bind one extractor per :class:`~repro.route.RoutingSpec`; the static
+    supply/edge columns and all scratch grids are computed once.
+    """
+
+    def __init__(self, spec, wire_width: float = 1.0):
+        self.spec = spec
+        self.grid = spec.grid
+        self.wire_width = float(wire_width)
+        grid = self.grid
+        nb = grid.nx * grid.ny
+        self.num_features = len(FEATURE_NAMES)
+        self._X = np.empty((nb, self.num_features))
+        # Scratch grids reused across calls (one per dynamic map).
+        self._bufs = [grid.zeros() for _ in range(8)]
+        # Static columns: routing supply densities and edge distance.
+        supply_h = spec.hcap * grid.bin_h / grid.bin_area
+        supply_v = spec.vcap * grid.bin_w / grid.bin_area
+        self._X[:, FEATURE_NAMES.index("supply_h")] = supply_h.ravel()
+        self._X[:, FEATURE_NAMES.index("supply_v")] = supply_v.ravel()
+        self._inv_supply = 1.0 / np.maximum(supply_h + supply_v, 1e-12)
+        self._inv_supply_h = 1.0 / np.maximum(supply_h, 1e-12)
+        self._inv_supply_v = 1.0 / np.maximum(supply_v, 1e-12)
+        ex = np.minimum(np.arange(grid.nx), grid.nx - 1 - np.arange(grid.nx))
+        ey = np.minimum(np.arange(grid.ny), grid.ny - 1 - np.arange(grid.ny))
+        span = max(min(grid.nx, grid.ny) - 1, 1)
+        edge = np.minimum.outer(ex, ey) / span
+        self._X[:, FEATURE_NAMES.index("edge_distance")] = edge.ravel()
+
+    def _col(self, name: str, grid_map: np.ndarray) -> None:
+        self._X[:, FEATURE_NAMES.index(name)] = grid_map.ravel()
+
+    def compute(self, arrays, cx: np.ndarray, cy: np.ndarray) -> np.ndarray:
+        """Feature matrix for the current positions.
+
+        Returns the extractor-owned buffer — valid until the next call.
+        """
+        grid = self.grid
+        rudy_b, rh_b, rv_b, pin_b, net_b, deg_b, cong_b, tmp_b = self._bufs
+        pins = pin_density_map(arrays, cx, cy, grid, out=pin_b)
+        pins /= grid.bin_area
+
+        # All five net-box maps rasterize the *same* padded boxes (the
+        # RUDY padding rule), so the bin-window geometry is computed once
+        # and each map costs one extra bincount.
+        xl, yl, xh, yh = net_bounding_boxes(arrays, cx, cy)
+        counts = np.diff(arrays.net_ptr)
+        active = counts >= 2
+        xl, yl, xh, yh = xl[active], yl[active], xh[active], yh[active]
+        pad_x = np.maximum(grid.bin_w - (xh - xl), 0.0) / 2.0
+        pad_y = np.maximum(grid.bin_h - (yh - yl), 0.0) / 2.0
+        xl -= pad_x
+        xh += pad_x
+        yl -= pad_y
+        yh += pad_y
+        w = xh - xl
+        h = yh - yl
+        inv_area = 1.0 / np.maximum(w * h, 1e-12)
+        rudy, rudy_h, rudy_v, nets, deg = grid.rasterize_rects_multi(
+            xl, yl, xh, yh,
+            values=[
+                self.wire_width * (w + h) * inv_area,
+                self.wire_width * w * inv_area,
+                self.wire_width * h * inv_area,
+                inv_area,
+                counts[active].astype(float) * inv_area,
+            ],
+            outs=[rudy_b, rh_b, rv_b, net_b, deg_b],
+        )
+        for grid_map in (rudy, rudy_h, rudy_v, nets, deg):
+            grid_map /= grid.bin_area
+
+        self._col("rudy", rudy)
+        self._col("rudy_h", rudy_h)
+        self._col("rudy_v", rudy_v)
+        self._col("pins", pins)
+        self._col("nets", nets)
+        self._col("net_degree", deg)
+        self._X[:, FEATURE_NAMES.index("avg_degree")] = (
+            deg / np.maximum(nets, 1e-12)
+        ).ravel()
+        np.multiply(rudy, self._inv_supply, out=cong_b)
+        self._col("cong_est", cong_b)
+        self._col("cong_h", np.multiply(rudy_h, self._inv_supply_h, out=tmp_b))
+        self._col("cong_v", np.multiply(rudy_v, self._inv_supply_v, out=tmp_b))
+        self._col("rudy_3x3", box_mean_3x3(rudy, out=tmp_b))
+        self._col("pins_3x3", box_mean_3x3(pins, out=tmp_b))
+        self._col("cong_3x3", box_mean_3x3(cong_b, out=tmp_b))
+        return self._X

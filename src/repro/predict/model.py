@@ -1,0 +1,371 @@
+"""Pure-NumPy congestion model zoo + versioned JSON artifact.
+
+Two models share the artifact:
+
+* :class:`RidgeModel` — standardized closed-form ridge regression, the
+  interpretable baseline.
+* :class:`BoostedStumps` — gradient-boosted depth-1 regression trees
+  over quantile thresholds; the usual winner on the non-linear
+  demand/supply interaction.
+
+Training stores both, picks the lower-validation-MSE one as ``primary``,
+and serializes everything to one JSON document (schema
+``predict-model-v1``, committed under ``docs/schemas/``) with provenance
+hashes so an artifact can be traced back to the exact training
+configuration that produced it.  No third-party ML dependency, no
+pickle: artifacts are inspectable text and load anywhere NumPy loads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+
+from repro.obs.schema import SchemaError, validate
+from repro.predict.features import FEATURE_NAMES
+
+ARTIFACT_VERSION = 1
+ARTIFACT_KIND = "congestion-predictor"
+
+_NUM = {"type": ["number", "integer"]}
+_STR = {"type": "string"}
+_INT = {"type": "integer"}
+_NUMS = {"type": "array", "items": _NUM}
+
+
+class PredictError(ValueError):
+    """An artifact is malformed, stale, or incompatible."""
+
+
+# ----------------------------------------------------------------------
+# models
+# ----------------------------------------------------------------------
+class RidgeModel:
+    """Standardized ridge regression, fit by normal equations."""
+
+    kind = "ridge"
+
+    def __init__(self, coef, intercept, mean, scale, alpha):
+        self.coef = np.asarray(coef, dtype=float)
+        self.intercept = float(intercept)
+        self.mean = np.asarray(mean, dtype=float)
+        self.scale = np.asarray(scale, dtype=float)
+        self.alpha = float(alpha)
+
+    @staticmethod
+    def fit(X: np.ndarray, y: np.ndarray, alpha: float = 1.0) -> "RidgeModel":
+        mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale = np.where(scale < 1e-12, 1.0, scale)
+        Z = (X - mean) / scale
+        ybar = float(y.mean())
+        A = Z.T @ Z + alpha * np.eye(Z.shape[1])
+        coef = np.linalg.solve(A, Z.T @ (y - ybar))
+        return RidgeModel(coef, ybar, mean, scale, alpha)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return ((X - self.mean) / self.scale) @ self.coef + self.intercept
+
+    def as_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "alpha": self.alpha,
+            "coef": self.coef.tolist(),
+            "intercept": self.intercept,
+            "mean": self.mean.tolist(),
+            "scale": self.scale.tolist(),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RidgeModel":
+        return RidgeModel(
+            data["coef"], data["intercept"], data["mean"], data["scale"],
+            data["alpha"],
+        )
+
+
+class BoostedStumps:
+    """Gradient-boosted depth-1 trees (L2 loss, quantile split points).
+
+    Training is fully vectorized: each feature's samples are bucketed
+    once against its quantile thresholds, so one boosting round costs a
+    ``bincount`` per feature instead of a scan per (feature, threshold).
+    Leaf values are stored pre-scaled by the learning rate.
+    """
+
+    kind = "gb_stumps"
+
+    def __init__(self, bias, feature, threshold, left, right, learning_rate):
+        self.bias = float(bias)
+        self.feature = np.asarray(feature, dtype=np.int64)
+        self.threshold = np.asarray(threshold, dtype=float)
+        self.left = np.asarray(left, dtype=float)
+        self.right = np.asarray(right, dtype=float)
+        self.learning_rate = float(learning_rate)
+
+    @staticmethod
+    def fit(
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        rounds: int = 150,
+        learning_rate: float = 0.12,
+        num_thresholds: int = 16,
+        min_leaf: int = 8,
+    ) -> "BoostedStumps":
+        n, f = X.shape
+        bias = float(y.mean())
+        pred = np.full(n, bias)
+        # Bucket every sample once per feature: bucket b means
+        # thresholds[0..b-1] < x, so "x <= thresholds[t]" <=> b <= t.
+        thresholds: list[np.ndarray] = []
+        buckets: list[np.ndarray] = []
+        counts: list[np.ndarray] = []
+        for j in range(f):
+            qs = np.unique(
+                np.quantile(X[:, j], np.linspace(0.05, 0.95, num_thresholds))
+            )
+            thresholds.append(qs)
+            b = np.searchsorted(qs, X[:, j], side="left")
+            buckets.append(b)
+            counts.append(np.bincount(b, minlength=len(qs) + 1))
+        feat, thr, left, right = [], [], [], []
+        for _ in range(rounds):
+            resid = y - pred
+            total = float(resid.sum())
+            best = None  # (gain, j, t, left_mean, right_mean)
+            for j in range(f):
+                qs = thresholds[j]
+                if len(qs) == 0:
+                    continue
+                sums = np.bincount(
+                    buckets[j], weights=resid, minlength=len(qs) + 1
+                )
+                left_cnt = np.cumsum(counts[j][:-1])
+                left_sum = np.cumsum(sums[:-1])
+                right_cnt = n - left_cnt
+                ok = (left_cnt >= min_leaf) & (right_cnt >= min_leaf)
+                if not ok.any():
+                    continue
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    gain = (
+                        left_sum**2 / np.maximum(left_cnt, 1)
+                        + (total - left_sum) ** 2 / np.maximum(right_cnt, 1)
+                    )
+                gain = np.where(ok, gain, -np.inf)
+                t = int(np.argmax(gain))
+                if best is None or gain[t] > best[0]:
+                    lm = left_sum[t] / left_cnt[t]
+                    rm = (total - left_sum[t]) / right_cnt[t]
+                    best = (float(gain[t]), j, t, float(lm), float(rm))
+            if best is None:
+                break
+            _, j, t, lm, rm = best
+            cut = thresholds[j][t]
+            step_l = learning_rate * lm
+            step_r = learning_rate * rm
+            pred += np.where(X[:, j] <= cut, step_l, step_r)
+            feat.append(j)
+            thr.append(float(cut))
+            left.append(step_l)
+            right.append(step_r)
+        return BoostedStumps(bias, feat, thr, left, right, learning_rate)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if len(self.feature) == 0:
+            return np.full(len(X), self.bias)
+        vals = X[:, self.feature]  # (n, rounds)
+        contrib = np.where(vals <= self.threshold, self.left, self.right)
+        return self.bias + contrib.sum(axis=1)
+
+    def as_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "bias": self.bias,
+            "learning_rate": self.learning_rate,
+            "feature": self.feature.tolist(),
+            "threshold": self.threshold.tolist(),
+            "left": self.left.tolist(),
+            "right": self.right.tolist(),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "BoostedStumps":
+        return BoostedStumps(
+            data["bias"], data["feature"], data["threshold"], data["left"],
+            data["right"], data["learning_rate"],
+        )
+
+
+_MODEL_TYPES = {RidgeModel.kind: RidgeModel, BoostedStumps.kind: BoostedStumps}
+
+
+# ----------------------------------------------------------------------
+# artifact (predict-model-v1)
+# ----------------------------------------------------------------------
+def build_predict_schema() -> dict:
+    """The restricted JSON-Schema document for model artifacts."""
+    ridge = {
+        "type": "object",
+        "properties": {
+            "type": {"enum": ["ridge"]},
+            "alpha": _NUM,
+            "coef": _NUMS,
+            "intercept": _NUM,
+            "mean": _NUMS,
+            "scale": _NUMS,
+        },
+        "required": ["type", "alpha", "coef", "intercept", "mean", "scale"],
+        "additionalProperties": False,
+    }
+    stumps = {
+        "type": "object",
+        "properties": {
+            "type": {"enum": ["gb_stumps"]},
+            "bias": _NUM,
+            "learning_rate": _NUM,
+            "feature": {"type": "array", "items": _INT},
+            "threshold": _NUMS,
+            "left": _NUMS,
+            "right": _NUMS,
+        },
+        "required": [
+            "type", "bias", "learning_rate", "feature", "threshold",
+            "left", "right",
+        ],
+        "additionalProperties": False,
+    }
+    provenance = {
+        "type": "object",
+        "properties": {
+            "seed": _INT,
+            "designs": {"type": "array", "items": _STR},
+            "cutoffs": {"type": "array", "items": _INT},
+            "num_samples": _INT,
+            "num_train": _INT,
+            "num_val": _INT,
+            "config_hash": _STR,
+            "trainer": _STR,
+        },
+        "required": ["seed", "designs", "num_samples", "config_hash"],
+        "additionalProperties": False,
+    }
+    return {
+        "$id": f"repro/predict-model/v{ARTIFACT_VERSION}",
+        "title": "repro.predict congestion-model artifact",
+        "version": ARTIFACT_VERSION,
+        "records": {
+            "model": {
+                "type": "object",
+                "properties": {
+                    "schema": _INT,
+                    "kind": {"enum": [ARTIFACT_KIND]},
+                    "feature_names": {"type": "array", "items": _STR},
+                    "primary": _STR,
+                    "models": {
+                        "type": "object",
+                        "properties": {"ridge": ridge, "gb_stumps": stumps},
+                        "additionalProperties": False,
+                    },
+                    "metrics": {"type": "object", "additionalProperties": _NUM},
+                    "provenance": provenance,
+                },
+                "required": [
+                    "schema", "kind", "feature_names", "primary", "models",
+                    "provenance",
+                ],
+                "additionalProperties": False,
+            }
+        },
+    }
+
+
+def config_hash(config: dict) -> str:
+    """SHA-256 of the canonical-JSON training configuration."""
+    canon = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+def validate_artifact(data: dict) -> None:
+    """Schema + semantic checks; raises :class:`PredictError`."""
+    try:
+        validate(data, build_predict_schema()["records"]["model"])
+    except SchemaError as exc:
+        raise PredictError(f"artifact fails predict-model-v1: {exc}") from None
+    if data["schema"] != ARTIFACT_VERSION:
+        raise PredictError(
+            f"artifact schema {data['schema']!r} != {ARTIFACT_VERSION}"
+        )
+    if data["primary"] not in data["models"]:
+        raise PredictError(
+            f"primary model {data['primary']!r} not in artifact "
+            f"(has {sorted(data['models'])})"
+        )
+    if tuple(data["feature_names"]) != FEATURE_NAMES:
+        raise PredictError(
+            "artifact features do not match this build "
+            f"({data['feature_names']} vs {list(FEATURE_NAMES)}); retrain "
+            "with 'repro predict train'"
+        )
+
+
+class CongestionPredictor:
+    """A loaded artifact: the primary model plus its zoo and provenance."""
+
+    def __init__(self, data: dict):
+        validate_artifact(data)
+        self.data = data
+        self.feature_names = tuple(data["feature_names"])
+        self.models = {
+            name: _MODEL_TYPES[spec["type"]].from_dict(spec)
+            for name, spec in data["models"].items()
+        }
+        self.primary = data["primary"]
+        self.metrics = dict(data.get("metrics", {}))
+        self.provenance = dict(data["provenance"])
+
+    def predict(self, X: np.ndarray, model: str | None = None) -> np.ndarray:
+        """Per-bin congestion prediction, clipped to be non-negative."""
+        pred = self.models[model or self.primary].predict(X)
+        return np.maximum(pred, 0.0)
+
+
+def save_artifact(data: dict, path: str) -> str:
+    """Validate and write an artifact (stable key order, trailing newline)."""
+    validate_artifact(data)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_artifact(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PredictError(f"unreadable model artifact {path}: {exc}") from exc
+    validate_artifact(data)
+    return data
+
+
+_PREDICTOR_CACHE: dict[str, CongestionPredictor] = {}
+
+
+def load_predictor(path: str | None = None) -> CongestionPredictor:
+    """Load (and memoize) the artifact at ``path``, or the packaged default."""
+    if path is None:
+        from repro.predict.train import default_artifact_path
+
+        path = default_artifact_path()
+    key = os.path.abspath(path)
+    cached = _PREDICTOR_CACHE.get(key)
+    if cached is None:
+        cached = CongestionPredictor(load_artifact(path))
+        _PREDICTOR_CACHE[key] = cached
+    return cached

@@ -48,6 +48,12 @@ class FlowCheckpoint:
     telemetry: dict = field(default_factory=dict)
     config: dict = field(default_factory=dict)
     rng: dict = field(default_factory=dict)
+    # One-time congestion-estimator calibration (pin_norm + supply map)
+    # shared by every CongestionInflator bound to the design; restoring
+    # it keeps a resumed run bit-identical to the uninterrupted one
+    # instead of recomputing the calibration at post-resume positions.
+    # Optional (absent in older checkpoints), so the version stays 1.
+    calibration: dict = field(default_factory=dict)
     version: int = CHECKPOINT_VERSION
 
     # -- capture -------------------------------------------------------
@@ -66,6 +72,15 @@ class FlowCheckpoint:
             node.name: [node.x, node.y, node.orientation.value]
             for node in design.nodes
         }
+        calibration = {}
+        cal = getattr(design, "congestion_calibration", None)
+        if isinstance(cal, dict):
+            for key, value in cal.items():
+                calibration[key] = (
+                    np.asarray(value).tolist()
+                    if isinstance(value, np.ndarray)
+                    else value
+                )
         py_state = random.getstate()
         np_state = np.random.get_state()
         return FlowCheckpoint(
@@ -77,6 +92,7 @@ class FlowCheckpoint:
             result=dict(result),
             telemetry=dict(telemetry or {}),
             config=asdict(config) if config is not None else {},
+            calibration=calibration,
             rng={
                 "python": [py_state[0], list(py_state[1]), py_state[2]],
                 "numpy": [
@@ -117,6 +133,11 @@ class FlowCheckpoint:
             node.y = float(y)
         for net, weight in zip(design.nets, self.net_weights):
             net.weight = float(weight)
+        if self.calibration:
+            cal = dict(self.calibration)
+            if cal.get("supply") is not None:
+                cal["supply"] = np.asarray(cal["supply"], dtype=float)
+            design.congestion_calibration = cal
         design.mark_positions_dirty()
         design._topology_version += 1
         rng = self.rng or {}
@@ -141,6 +162,7 @@ class FlowCheckpoint:
             "result": self.result,
             "telemetry": self.telemetry,
             "config": self.config,
+            "calibration": self.calibration,
             "rng": self.rng,
         }
 
@@ -161,6 +183,7 @@ class FlowCheckpoint:
             result=dict(data.get("result", {})),
             telemetry=dict(data.get("telemetry", {})),
             config=dict(data.get("config", {})),
+            calibration=dict(data.get("calibration", {})),
             rng=dict(data.get("rng", {})),
             version=version,
         )

@@ -54,6 +54,9 @@ FAULT_POINTS = {
     "watchdog.expire.route": "force the routing watchdog to report expiry",
     "clock.skew": "advance the watchdog clock by <value> seconds when checked",
     "checkpoint.io_error": "raise FaultInjected while writing a flow checkpoint",
+    "predict.drift": "poison the hybrid-estimator congestion prediction by "
+    "+<value> (default 10) so the drift detector must fall back to the "
+    "router (hit = prediction index)",
     "serve.worker_exit": "hard-exit a serve worker process (os._exit) at "
     "the <hit>-th completed flow stage (crash/requeue drills)",
     "serve.store_write": "fail a job-store write transaction with a sqlite "

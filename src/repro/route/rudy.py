@@ -22,6 +22,7 @@ def rudy_map(
     grid: BinGrid,
     wire_width: float = 1.0,
     reference: bool = False,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Wire-demand density per bin.
 
@@ -29,6 +30,10 @@ def rudy_map(
     the box is ``wire_width * (w + h) / (w * h)`` — integrating to the
     net's HPWL times the wire width.  Degenerate boxes are padded to one
     bin so flat nets still register demand.
+
+    ``out`` supplies a caller-owned ``(nx, ny)`` buffer reused across
+    calls (the inflation loop refreshes this map every round); results
+    are bit-identical to the allocating path.
     """
     xl, yl, xh, yh = net_bounding_boxes(arrays, cx, cy)
     counts = np.diff(arrays.net_ptr)
@@ -44,12 +49,11 @@ def rudy_map(
     box_area = np.maximum((xh - xl) * (yh - yl), 1e-12)
     # values are per-unit-area densities; integrating a box recovers its
     # HPWL * wire_width demand.
-    return (
-        grid.rasterize_rects(
-            xl, yl, xh, yh, values=demand / box_area, reference=reference
-        )
-        / grid.bin_area
+    grid_map = grid.rasterize_rects(
+        xl, yl, xh, yh, values=demand / box_area, reference=reference, out=out
     )
+    grid_map /= grid.bin_area
+    return grid_map
 
 
 def rudy_congestion_metrics(design, wire_width: float = 1.0):
@@ -95,10 +99,27 @@ def rudy_congestion_metrics(design, wire_width: float = 1.0):
     )
 
 
-def pin_density_map(arrays, cx: np.ndarray, cy: np.ndarray, grid: BinGrid) -> np.ndarray:
-    """Pins per bin — a proxy for local-routing demand around dense logic."""
+def pin_density_map(
+    arrays,
+    cx: np.ndarray,
+    cy: np.ndarray,
+    grid: BinGrid,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Pins per bin — a proxy for local-routing demand around dense logic.
+
+    ``out`` supplies a caller-owned ``(nx, ny)`` buffer reused across
+    calls; a zeroed buffer matches ``grid.zeros()`` bit-identically.
+    """
     px, py = arrays.pin_positions(cx, cy)
     ix, iy = grid.index_of(px, py)
-    out = grid.zeros()
+    if out is None:
+        out = grid.zeros()
+    else:
+        if out.shape != (grid.nx, grid.ny):
+            raise ValueError(
+                f"out has shape {out.shape}, grid is ({grid.nx}, {grid.ny})"
+            )
+        out.fill(0.0)
     np.add.at(out, (ix, iy), 1.0)
     return out

@@ -174,6 +174,47 @@ class TestDPKnobs:
         assert rc == 0
 
 
+class TestPredictCLI:
+    def test_knobs_reach_flow_config(self):
+        from repro.cli import _apply_predict_knobs, build_parser
+        from repro.flow.config import FlowConfig
+
+        args = build_parser().parse_args(
+            [
+                "place", "--aux", "x.aux", "--estimator", "hybrid",
+                "--predict-model", "m.json", "--predict-interval", "6",
+                "--predict-drift-tol", "0.5",
+            ]
+        )
+        cfg = FlowConfig()
+        _apply_predict_knobs(cfg, args)
+        assert cfg.gp.congestion_estimator == "hybrid"
+        assert cfg.gp.predict_model == "m.json"
+        assert cfg.gp.predict_router_interval == 6
+        assert cfg.gp.predict_drift_tol == 0.5
+
+    def test_defaults_leave_config_untouched(self):
+        from repro.cli import _apply_predict_knobs, build_parser
+        from repro.flow.config import FlowConfig
+
+        args = build_parser().parse_args(["place", "--aux", "x.aux"])
+        cfg = FlowConfig()
+        _apply_predict_knobs(cfg, args)
+        default = FlowConfig()
+        assert cfg.gp.congestion_estimator == default.gp.congestion_estimator
+        assert cfg.gp.predict_model is None
+
+    def test_show_packaged_default(self, capsys):
+        rc = main(["predict", "show"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "config_hash" in out
+
+    def test_show_missing_artifact_exits_2(self, tmp_path, capsys):
+        rc = main(["predict", "show", "--model", str(tmp_path / "gone.json")])
+        assert rc == 2
+
+
 class TestRoute:
     def test_route_scores(self, bench_dir, tmp_path, capsys):
         placed = str(tmp_path / "placed")

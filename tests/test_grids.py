@@ -118,6 +118,56 @@ class TestRasterizeRects:
         assert out.sum() == pytest.approx(8.0)
         assert out[0, 0] == pytest.approx(4.0)
 
+    def test_multi_matches_single_calls(self):
+        rng = np.random.default_rng(8)
+        g = grid16()
+        n = 50
+        xl = rng.uniform(-1, 14, n)
+        yl = rng.uniform(-1, 7, n)
+        xh = xl + rng.uniform(0.0, 6, n)
+        yh = yl + rng.uniform(0.0, 3, n)
+        v1 = rng.uniform(0, 2, n)
+        v2 = rng.uniform(0, 5, n)
+        m1, m2 = g.rasterize_rects_multi(xl, yl, xh, yh, values=[v1, v2])
+        assert np.allclose(m1, g.rasterize_rects(xl, yl, xh, yh, values=v1))
+        assert np.allclose(m2, g.rasterize_rects(xl, yl, xh, yh, values=v2))
+
+    def test_multi_reuses_out_buffers(self):
+        g = grid16()
+        xl, yl = np.array([1.0]), np.array([1.0])
+        xh, yh = np.array([3.0]), np.array([2.0])
+        b1, b2 = g.zeros() + 9.0, g.zeros() + 9.0
+        m1, m2 = g.rasterize_rects_multi(
+            xl, yl, xh, yh, values=[np.array([1.0]), np.array([2.0])],
+            outs=[b1, b2],
+        )
+        assert m1 is b1 and m2 is b2
+        assert m1.sum() == pytest.approx(2.0)
+        assert m2.sum() == pytest.approx(4.0)
+
+    def test_multi_empty_and_mismatch(self):
+        g = grid16()
+        empty = np.array([])
+        grids = g.rasterize_rects_multi(empty, empty, empty, empty, values=[empty])
+        assert grids[0].sum() == 0.0
+        with pytest.raises(ValueError, match="outs"):
+            g.rasterize_rects_multi(
+                empty, empty, empty, empty, values=[empty], outs=[]
+            )
+
+    def test_multi_deterministic(self):
+        rng = np.random.default_rng(3)
+        g = grid16()
+        n = 30
+        xl = rng.uniform(0, 12, n)
+        yl = rng.uniform(0, 6, n)
+        xh = xl + rng.uniform(0.1, 4, n)
+        yh = yl + rng.uniform(0.1, 2, n)
+        v = rng.uniform(0, 1, n)
+        a = g.rasterize_rects_multi(xl, yl, xh, yh, values=[v])[0]
+        b = g.rasterize_rects_multi(xl, yl, xh, yh, values=[v])[0]
+        assert np.array_equal(a, b)
+
     @settings(max_examples=30, deadline=None)
     @given(
         st.lists(
